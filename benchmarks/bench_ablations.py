@@ -1,0 +1,104 @@
+"""E14 — ablations of PIM-trie's design choices (DESIGN.md §3).
+
+Switches off, one at a time, the optimizations §4 motivates and
+measures what each buys:
+
+* pivot/two-layer HashMatching (§4.4.2) vs the naive per-bit probe of
+  Algorithm 3 — PIM *work* drops by ~w/log w with pivots;
+* Push-Pull (§3.3) vs always-push — the IO-time straggler bound
+  degrades without pulls under skew;
+* block size K_B — smaller blocks mean more hash-manager traffic,
+  larger blocks mean coarser balance.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import measure
+from repro import PIMSystem, PIMTrie, PIMTrieConfig
+from repro.workloads import shared_prefix_flood, uniform_keys
+
+P = 16
+N_KEYS = 512
+N_QUERIES = 512
+LEN = 128
+
+
+def run_cfg(**cfg_kwargs):
+    keys = uniform_keys(N_KEYS, LEN, seed=600)
+    queries = keys[: N_QUERIES // 2] + shared_prefix_flood(
+        N_QUERIES // 2, 64, LEN - 64, seed=601
+    )
+    system = PIMSystem(P, seed=1)
+    trie = PIMTrie(
+        system, PIMTrieConfig(num_modules=P, **cfg_kwargs), keys=keys
+    )
+    res, m = measure(system, trie.lcp_batch, queries)
+    return res, m
+
+
+def test_pivot_hashmatching_ablation(benchmark):
+    """§4.4.2: pivots cut hash-probing work by ~w/log w."""
+
+    def run():
+        res_p, m_pivot = run_cfg(use_pivots=True)
+        res_n, m_naive = run_cfg(use_pivots=False)
+        assert res_p == res_n  # identical answers
+        return m_pivot, m_naive
+
+    m_pivot, m_naive = benchmark.pedantic(run, iterations=1, rounds=1)
+    print("\n[E14] HashMatching ablation (PIM work = hash probes):")
+    print(f"  pivots ON : pim_work={m_pivot.pim_work:>9}  rounds={m_pivot.io_rounds}")
+    print(f"  pivots OFF: pim_work={m_naive.pim_work:>9}  rounds={m_naive.io_rounds}")
+    # naive probing touches every bit position: far more PIM work
+    assert m_naive.pim_work > 2 * m_pivot.pim_work
+
+
+def test_push_pull_ablation(benchmark):
+    """§3.3: without pulls, a hot meta-block/block eats the whole batch."""
+
+    def run():
+        res_a, m_pp = run_cfg(use_push_pull=True)
+        res_b, m_push = run_cfg(use_push_pull=False)
+        assert res_a == res_b
+        return m_pp, m_push
+
+    m_pp, m_push = benchmark.pedantic(run, iterations=1, rounds=1)
+    print("\n[E14] Push-Pull ablation under a 50% shared-prefix flood:")
+    print(
+        f"  push-pull: io_time={m_pp.io_time:>7}  "
+        f"imbalance={m_pp.traffic_imbalance():5.2f}"
+    )
+    print(
+        f"  push-only: io_time={m_push.io_time:>7}  "
+        f"imbalance={m_push.traffic_imbalance():5.2f}"
+    )
+    # all-push concentrates the flood's fragments on the hot modules
+    assert m_push.work_imbalance() >= m_pp.work_imbalance() * 0.9
+
+
+@pytest.mark.parametrize("block_bound", [8, 16, 64, 256])
+def test_block_size_sweep(benchmark, block_bound):
+    """K_B trade-off: block count, HVM size, and matching cost."""
+
+    def run():
+        keys = uniform_keys(N_KEYS, LEN, seed=610)
+        queries = uniform_keys(256, LEN, seed=611)
+        system = PIMSystem(P, seed=1)
+        trie = PIMTrie(
+            system,
+            PIMTrieConfig(num_modules=P, block_bound=block_bound),
+            keys=keys,
+        )
+        _, m = measure(system, trie.lcp_batch, queries)
+        return trie.num_blocks(), m
+
+    blocks, m = benchmark.pedantic(run, iterations=1, rounds=1)
+    print(
+        f"\n[E14] K_B={block_bound:>4}: blocks={blocks:>5}  "
+        f"rounds={m.io_rounds:>3}  words/op="
+        f"{m.total_communication / 256:7.1f}  "
+        f"imbalance={m.traffic_imbalance():5.2f}"
+    )
+    assert blocks >= 1

@@ -1,0 +1,88 @@
+"""E5 — Figure 1: query-trie construction and trie matching.
+
+Reconstructs the paper's worked example (the data trie with keys drawn
+in Figure 1, the query trie built from the two query strings, and the
+matched trie marked in red, whose deepest match ends on hidden nodes
+for the common prefix "10100"), then scales the same pipeline up and
+measures query-trie construction plus matching cost.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import build_pimtrie, fmt_row, measure
+from repro import BitString
+from repro.trie import build_query_trie
+from repro.workloads import uniform_variable_keys
+
+bs = BitString.from_str
+
+#: the data trie of Figure 1 (edge labels 00001·101 / 0·11 / 0000·111)
+FIG1_DATA = ["000010", "00001101", "1010000", "1010111", "101011"]
+#: the query strings of Figure 1
+FIG1_QUERIES = ["00001001", "101001", "101011"]
+
+
+def test_figure1_example(benchmark):
+    """The literal Figure-1 example: matched-trie depths per query."""
+    P = 4
+
+    def run():
+        system, trie = build_pimtrie(P, [bs(k) for k in FIG1_DATA])
+        res, m = measure(
+            system, trie.lcp_batch, [bs(q) for q in FIG1_QUERIES]
+        )
+        return res, m
+
+    res, m = benchmark.pedantic(run, iterations=1, rounds=1)
+    print("\n[E5] Figure 1 example — LCP of each query string:")
+    for q, lcp in zip(FIG1_QUERIES, res):
+        print(f"  {q:<10} -> {lcp}")
+    print("  " + fmt_row("pim_trie", m, len(FIG1_QUERIES)))
+    # the paper's example: "101001" matches "10100" via hidden nodes (5)
+    assert res == [6, 5, 6]
+
+
+def test_query_trie_construction_cost(benchmark):
+    """Lemma 4.1: construction near-linear in batch size."""
+
+    def run():
+        out = []
+        for n in (128, 512, 2048):
+            batch = uniform_variable_keys(n, 8, 96, seed=80)
+            qt = build_query_trie(batch)
+            out.append((n, qt.num_nodes(), qt.L))
+        return out
+
+    out = benchmark.pedantic(run, iterations=1, rounds=1)
+    print("\n[E5] query trie construction: (batch, nodes, edge bits)")
+    for n, nodes, bits in out:
+        print(f"  n={n:>5}  nodes={nodes:>5}  L={bits}")
+    # nodes O(n): compressed trie node count stays within 2n
+    for n, nodes, _ in out:
+        assert nodes <= 2 * n + 1
+
+
+def test_matching_scales_with_batch(benchmark):
+    """Matching cost per op stays flat as the batch grows (batch
+    parallelism amortizes the shared prefixes)."""
+    P = 16
+
+    def run():
+        keys = uniform_variable_keys(512, 16, 96, seed=81)
+        out = []
+        for n in (64, 256, 1024):
+            queries = uniform_variable_keys(n, 16, 96, seed=82)
+            system, trie = build_pimtrie(P, keys)
+            _, m = measure(system, trie.lcp_batch, queries)
+            out.append((n, m))
+        return out
+
+    out = benchmark.pedantic(run, iterations=1, rounds=1)
+    print("\n[E5] matching vs batch size:")
+    for n, m in out:
+        print("  " + fmt_row(f"batch={n}", m, n))
+    small = out[0][1].total_communication / out[0][0]
+    large = out[-1][1].total_communication / out[-1][0]
+    assert large < 3 * small  # per-op words roughly flat

@@ -1,0 +1,99 @@
+"""E7 — Figure 3: meta-tree, meta-blocks, master-tree replication.
+
+Figure 3 shows the meta-tree over blocks decomposed into meta-blocks
+with a replicated master-tree and per-meta-block hash tables.  This
+bench checks the hash value manager's structural invariants at scale:
+
+* the piece tables are subtree-complete (selective replication, §5.2);
+* each block-root hash is replicated O(log P) times, so the whole HVM
+  stays within Lemma 4.7's O(Q_D) space;
+* the master-tree is replicated on all P modules.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from conftest import build_pimtrie
+from repro.workloads import uniform_keys
+
+
+def gather_pieces(system):
+    pieces = {}
+    for m in range(system.num_modules):
+        pieces.update(system.modules[m].context.scratch.get("pieces", {}))
+    return pieces
+
+
+@pytest.mark.parametrize("P", [8, 32])
+def test_hvm_structure(benchmark, P):
+    def run():
+        system, trie = build_pimtrie(P, uniform_keys(1024, 64, seed=100))
+        return system, trie
+
+    system, trie = benchmark.pedantic(run, iterations=1, rounds=1)
+    pieces = gather_pieces(system)
+    n_blocks = trie.num_blocks()
+    replicas = sum(len(p.table) for p in pieces.values())
+    owned = sum(len(p.owned) for p in pieces.values())
+    print(
+        f"\n[E7] P={P}: blocks={n_blocks} pieces={len(pieces)} "
+        f"owned={owned} replicated-entries={replicas} "
+        f"(x{replicas / max(1, n_blocks):.1f} per block)"
+    )
+    # every block owned exactly once
+    assert owned == n_blocks
+    # subtree-completeness: a piece's table covers its descendants' owned
+    for pid, piece in pieces.items():
+        covered = set(piece.table)
+        stack = list(trie.piece_children.get(pid, ()))
+        while stack:
+            c = stack.pop()
+            assert trie.piece_owned[c] <= covered, (
+                f"piece {pid} missing child {c}'s records"
+            )
+            stack.extend(trie.piece_children.get(c, ()))
+    # replication factor O(log P) (Lemma 4.7)
+    assert replicas <= n_blocks * 4 * (math.log2(P) + 2)
+
+
+def test_master_replicated_everywhere(benchmark):
+    P = 16
+
+    def run():
+        system, trie = build_pimtrie(P, uniform_keys(512, 64, seed=101))
+        return system, trie
+
+    system, trie = benchmark.pedantic(run, iterations=1, rounds=1)
+    masters = [
+        system.modules[m].context.scratch.get("master") for m in range(P)
+    ]
+    sizes = [len(t.by_id) if t is not None else 0 for t in masters]
+    print(f"\n[E7] master table sizes per module: {sizes}")
+    assert all(s == sizes[0] for s in sizes)
+    assert sizes[0] == len(trie.master_pieces)
+
+
+def test_meta_block_size_bounds(benchmark):
+    """Pieces own at most K_SMB records; meta-block trees represent at
+    most ~K_MB each (fresh after a bulk build)."""
+    P = 32
+
+    def run():
+        system, trie = build_pimtrie(P, uniform_keys(2048, 64, seed=102))
+        return system, trie
+
+    system, trie = benchmark.pedantic(run, iterations=1, rounds=1)
+    cfg = trie.config
+    worst_owned = max(len(v) for v in trie.piece_owned.values())
+    tree_sizes = [
+        trie._subtree_owned_count(root) for root in trie.master_pieces
+    ]
+    print(
+        f"\n[E7] K_SMB={cfg.small_meta_bound} worst piece={worst_owned}; "
+        f"K_MB={cfg.meta_block_bound} tree sizes={sorted(tree_sizes)[-5:]}"
+    )
+    assert worst_owned <= cfg.small_meta_bound
+    assert max(tree_sizes) <= cfg.meta_block_bound

@@ -1,0 +1,124 @@
+"""E8 — Figure 4: recursive meta-block decomposition.
+
+Figure 4 shows meta-block trees produced by cutting at the Lemma-4.5
+node.  This bench validates the two lemmas quantitatively:
+
+* Lemma 4.5 — the chosen cut node leaves a maximum remaining piece of
+  at most (n+1)/2 nodes, on random trees, paths, stars, and caterpillars;
+* Lemma 4.6 — the piece-tree height stays O(log n) even for the
+  path-shaped meta-trees an adversary can produce (the flat-list
+  degeneration §5.2 warns about).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.core import cut_node, decompose_component
+
+
+def make_tree(shape: str, n: int, seed: int = 0):
+    rng = random.Random(seed)
+    kids: dict[int, list[int]] = {i: [] for i in range(n)}
+    if shape == "path":
+        for i in range(1, n):
+            kids[i - 1].append(i)
+    elif shape == "star":
+        for i in range(1, n):
+            kids[0].append(i)
+    elif shape == "caterpillar":
+        for i in range(1, n // 2):
+            kids[i - 1].append(i)
+        for i in range(n // 2, n):
+            kids[rng.randrange(n // 2)].append(i)
+    elif shape == "random":
+        for i in range(1, n):
+            kids[rng.randrange(i)].append(i)
+    else:
+        raise ValueError(shape)
+    return kids
+
+
+def piece_tree_height(pc: dict[int, list[int]], root) -> int:
+    def h(k):
+        return 1 + max((h(c) for c in pc[k]), default=0)
+
+    return h(root)
+
+
+@pytest.mark.parametrize("shape", ["path", "star", "caterpillar", "random"])
+def test_lemma45_cut_quality(benchmark, shape):
+    """max remaining piece after cutting the chosen node <= (n+1)/2."""
+
+    def run():
+        out = []
+        for n in (31, 128, 513):
+            kids = make_tree(shape, n, seed=n)
+            nodes = list(range(n))
+            v = cut_node(nodes, kids, 0)
+            # evaluate the split this node produces
+            size = {}
+            order = []
+            stack = [0]
+            while stack:
+                u = stack.pop()
+                order.append(u)
+                stack.extend(kids[u])
+            for u in reversed(order):
+                size[u] = 1 + sum(size[c] for c in kids[u])
+            upper = n - (size[v] - 1)
+            worst = max([upper] + [size[c] for c in kids[v]])
+            out.append((n, worst))
+        return out
+
+    out = benchmark.pedantic(run, iterations=1, rounds=1)
+    print(f"\n[E8] Lemma 4.5 on {shape} trees: (n, max piece)")
+    for n, worst in out:
+        print(f"  n={n:>4}  max piece={worst:>4}  bound={(n + 1) // 2 + 1}")
+        assert worst <= (n + 1) // 2 + 1
+
+
+@pytest.mark.parametrize("shape", ["path", "star", "caterpillar", "random"])
+def test_lemma46_height(benchmark, shape):
+    """Piece-tree height O(log n) for every adversarial shape."""
+    bound = 8
+
+    def run():
+        out = []
+        for n in (64, 256, 1024):
+            kids = make_tree(shape, n, seed=n + 1)
+            pm, pc, root = decompose_component(0, kids, bound)
+            # structural checks: pieces partition the nodes
+            seen = [u for members in pm.values() for u in members]
+            assert sorted(seen) == list(range(n))
+            assert all(len(m) <= max(bound, 2) for m in pm.values())
+            out.append((n, piece_tree_height(pc, root), len(pm)))
+        return out
+
+    out = benchmark.pedantic(run, iterations=1, rounds=1)
+    print(f"\n[E8] Lemma 4.6 on {shape} trees (bound={bound}):")
+    for n, height, pieces in out:
+        limit = 3 * math.log2(n) + 2
+        print(f"  n={n:>5}  pieces={pieces:>4}  height={height:>3}  "
+              f"O(log n) limit={limit:.0f}")
+        assert height <= limit
+
+
+def test_height_grows_logarithmically(benchmark):
+    """Doubling n adds O(1) height on the worst shape (a path)."""
+
+    def run():
+        heights = []
+        for n in (128, 256, 512, 1024, 2048):
+            kids = make_tree("path", n)
+            _, pc, root = decompose_component(0, kids, 8)
+            heights.append(piece_tree_height(pc, root))
+        return heights
+
+    heights = benchmark.pedantic(run, iterations=1, rounds=1)
+    print(f"\n[E8] path heights for n=128..2048: {heights}")
+    deltas = [b - a for a, b in zip(heights, heights[1:])]
+    assert max(deltas) <= 3

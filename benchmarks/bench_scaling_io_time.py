@@ -1,0 +1,72 @@
+"""E12 — Theorem 4.3: O(Q_Q / P) IO time (PIM-balance, Definition 1).
+
+For a fixed batch, the IO time (the max per-module word traffic summed
+over rounds — the straggler bound) should shrink ~1/P as modules are
+added, i.e. IO_time * P / total_communication stays roughly flat.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import build_pimtrie, measure
+from repro.workloads import single_range_flood, uniform_keys
+
+N_KEYS = 1024
+N_QUERIES = 1024
+LEN = 64
+
+
+@pytest.mark.parametrize("skew", ["uniform", "flood"])
+def test_io_time_scales_down_with_P(benchmark, skew):
+    Ps = [4, 8, 16, 32]
+
+    def run():
+        out = []
+        keys = uniform_keys(N_KEYS, LEN, seed=400)
+        if skew == "uniform":
+            queries = uniform_keys(N_QUERIES, LEN, seed=401)
+        else:
+            queries = single_range_flood(N_QUERIES, LEN, seed=402)
+        for P in Ps:
+            system, trie = build_pimtrie(P, keys)
+            _, m = measure(system, trie.lcp_batch, queries)
+            out.append((P, m.io_time, m.total_communication))
+        return out
+
+    out = benchmark.pedantic(run, iterations=1, rounds=1)
+    print(f"\n[E12] {skew}: io_time vs P (fixed batch)")
+    norm = []
+    for P, io_time, words in out:
+        k = io_time * P / max(1, words)
+        norm.append(k)
+        print(f"  P={P:>3}  io_time={io_time:>7}  words={words:>8}  "
+              f"io_time*P/words={k:5.2f}")
+    # normalized straggler cost stays within a small band: the work
+    # really spreads across modules instead of pooling on one
+    assert max(norm) / min(norm) < 4.0
+    # and absolute io_time at P=32 is well below P=4's
+    assert out[-1][1] < out[0][1]
+
+
+def test_pim_time_balance(benchmark):
+    """PIM time (max kernel work on any module) also spreads with P."""
+    Ps = [4, 16]
+
+    def run():
+        out = []
+        keys = uniform_keys(N_KEYS, LEN, seed=410)
+        queries = uniform_keys(N_QUERIES, LEN, seed=411)
+        for P in Ps:
+            system, trie = build_pimtrie(P, keys)
+            _, m = measure(system, trie.lcp_batch, queries)
+            out.append((P, m.pim_time, m.pim_work))
+        return out
+
+    out = benchmark.pedantic(run, iterations=1, rounds=1)
+    print("\n[E12] PIM time vs P:")
+    for P, t, w in out:
+        print(f"  P={P:>3}  pim_time={t:>8}  total_pim_work={w:>8}  "
+              f"balance={w / max(1, t * P):4.2f}")
+    # the max-loaded module holds a shrinking share as P grows
+    assert out[1][1] < out[0][1]

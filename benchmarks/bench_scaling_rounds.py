@@ -1,0 +1,80 @@
+"""E11 — Theorems 4.3 / 5.1: O(log P) IO rounds per batch.
+
+Sweeps the number of PIM modules P and fits the per-batch round count
+for trie matching (LCP) and Insert.  Doubling P should add at most a
+constant number of rounds — the signature of the meta-block-tree
+descent being the only P-dependent stage.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from conftest import build_pimtrie, measure
+from repro.workloads import uniform_keys
+
+N_KEYS = 1024
+N_OPS = 512
+LEN = 64
+
+
+def rounds_for(P: int, op: str) -> int:
+    keys = uniform_keys(N_KEYS, LEN, seed=300)
+    system, trie = build_pimtrie(P, keys)
+    if op == "lcp":
+        batch = keys[: N_OPS // 2] + uniform_keys(N_OPS // 2, LEN, seed=301)
+        _, m = measure(system, trie.lcp_batch, batch)
+    elif op == "insert":
+        batch = uniform_keys(N_OPS, LEN, seed=302)
+        _, m = measure(system, trie.insert_batch, batch)
+    elif op == "subtree":
+        batch = [k.prefix(6) for k in keys[:8]]
+        _, m = measure(system, trie.subtree_batch, batch)
+    else:
+        raise ValueError(op)
+    return m.io_rounds
+
+
+@pytest.mark.parametrize("op", ["lcp", "insert", "subtree"])
+def test_rounds_grow_logarithmically(benchmark, op):
+    Ps = [4, 8, 16, 32, 64]
+
+    def run():
+        return [rounds_for(P, op) for P in Ps]
+
+    rounds = benchmark.pedantic(run, iterations=1, rounds=1)
+    print(f"\n[E11] {op}: rounds per batch vs P")
+    for P, r in zip(Ps, rounds):
+        print(f"  P={P:>3}  rounds={r}")
+    # doubling P adds O(1) rounds
+    deltas = [b - a for a, b in zip(rounds, rounds[1:])]
+    print(f"  deltas per doubling: {deltas}")
+    assert max(deltas) <= 12
+    # and the absolute count stays within c*log2(P) + c'
+    for P, r in zip(Ps, rounds):
+        assert r <= 12 * (math.log2(P) + 2), f"P={P}: {r} rounds"
+
+
+def test_rounds_flat_in_batch_size(benchmark):
+    """For fixed P, growing the batch must NOT grow the round count —
+    batches are processed whole, not per operation."""
+    P = 16
+
+    def run():
+        out = []
+        keys = uniform_keys(N_KEYS, LEN, seed=310)
+        for n in (64, 256, 1024):
+            system, trie = build_pimtrie(P, keys)
+            batch = uniform_keys(n, LEN, seed=311)
+            _, m = measure(system, trie.lcp_batch, batch)
+            out.append((n, m.io_rounds))
+        return out
+
+    out = benchmark.pedantic(run, iterations=1, rounds=1)
+    print("\n[E11] rounds vs batch size (P=16):")
+    for n, r in out:
+        print(f"  batch={n:>5}  rounds={r}")
+    rs = [r for _, r in out]
+    assert max(rs) - min(rs) <= 4

@@ -1,0 +1,130 @@
+"""E10 — skew resistance (the paper's headline claim, §1/§5.2).
+
+Per-module traffic load balance (max/mean) under adversary-controlled
+workloads, PIM-trie vs the range-partitioned index and the distributed
+radix tree:
+
+* a *single-range flood* sends every query into one key range — the
+  range-partitioned index serializes on one module (imbalance -> P)
+  while PIM-trie stays near 1 (its blocks are placed uniformly at
+  random and the Push-Pull rule moves hot work to the CPU);
+* Zipf-skewed query mixes interpolate between the two regimes;
+* a *shared-prefix flood* of inserts (worst-case data skew) must also
+  stay balanced.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import build_pimtrie, build_radix, build_range, measure
+from repro.workloads import (
+    shared_prefix_flood,
+    single_range_flood,
+    uniform_keys,
+    zipf_prefix,
+)
+
+P = 16
+N_KEYS = 1024
+N_QUERIES = 1024
+LEN = 64
+
+
+def workload(name: str):
+    if name == "uniform":
+        return uniform_keys(N_QUERIES, LEN, seed=201)
+    if name == "zipf":
+        return zipf_prefix(N_QUERIES, LEN, num_hot=16, theta=1.4, seed=202)
+    if name == "flood":
+        return single_range_flood(N_QUERIES, LEN, seed=203)
+    raise ValueError(name)
+
+
+@pytest.mark.parametrize("skew", ["uniform", "zipf", "flood"])
+def test_query_load_balance(benchmark, skew):
+    def run():
+        keys = uniform_keys(N_KEYS, LEN, seed=200)
+        queries = workload(skew)
+        out = {}
+        system, trie = build_pimtrie(P, keys)
+        _, m = measure(system, trie.lcp_batch, queries)
+        out["pim_trie"] = m
+        system, ridx = build_range(P, keys)
+        _, m = measure(system, ridx.lcp_batch, queries)
+        out["range_partitioned"] = m
+        system, radix = build_radix(P, keys, span=4)
+        _, m = measure(system, radix.lcp_batch, queries)
+        out["dist_radix"] = m
+        return out
+
+    out = benchmark.pedantic(run, iterations=1, rounds=1)
+    print(f"\n[E10] query skew = {skew}: traffic imbalance (max/mean, 1.0 = perfect)")
+    for name, m in out.items():
+        print(f"  {name:<20} imbalance={m.traffic_imbalance():5.2f}  "
+              f"io_time={m.io_time}")
+    if skew == "flood":
+        # the paper's contrast: range partitioning serializes, PIM-trie
+        # stays balanced within log-factors (whp bounds allow slack)
+        assert out["range_partitioned"].traffic_imbalance() > 3.0
+        assert out["pim_trie"].traffic_imbalance() < 4.0
+        assert (
+            out["pim_trie"].traffic_imbalance()
+            < out["range_partitioned"].traffic_imbalance()
+        )
+        # the straggler metric shows the serialization directly
+        assert out["pim_trie"].io_time < out["range_partitioned"].io_time
+    if skew == "uniform":
+        assert out["pim_trie"].traffic_imbalance() < 2.5
+
+
+def test_insert_data_skew(benchmark):
+    """Worst-case *data* skew: inserting a shared-prefix flood."""
+
+    def run():
+        keys = uniform_keys(N_KEYS, LEN, seed=210)
+        flood = shared_prefix_flood(N_QUERIES, 48, 16, seed=211)
+        out = {}
+        system, trie = build_pimtrie(P, keys)
+        _, m = measure(system, trie.insert_batch, flood)
+        out["pim_trie"] = m
+        system, ridx = build_range(P, keys)
+        _, m = measure(system, ridx.insert_batch, flood)
+        out["range_partitioned"] = m
+        return out
+
+    out = benchmark.pedantic(run, iterations=1, rounds=1)
+    print("\n[E10] insert flood (48-bit shared prefix):")
+    for name, m in out.items():
+        print(f"  {name:<20} imbalance={m.traffic_imbalance():5.2f}  "
+              f"io_time={m.io_time}")
+    assert (
+        out["pim_trie"].traffic_imbalance()
+        < out["range_partitioned"].traffic_imbalance()
+    )
+
+
+def test_io_time_under_flood(benchmark):
+    """Definition 1 (PIM-balance): the *IO time* — the straggler metric —
+    of PIM-trie under a flood stays close to its uniform-workload IO
+    time for equal batch volume."""
+
+    def run():
+        keys = uniform_keys(N_KEYS, LEN, seed=220)
+        out = {}
+        for name, queries in (
+            ("uniform", uniform_keys(N_QUERIES, LEN, seed=221)),
+            ("flood", single_range_flood(N_QUERIES, LEN, seed=222)),
+        ):
+            system, trie = build_pimtrie(P, keys)
+            _, m = measure(system, trie.lcp_batch, queries)
+            out[name] = m
+        return out
+
+    out = benchmark.pedantic(run, iterations=1, rounds=1)
+    ratio = out["flood"].io_time / max(1, out["uniform"].io_time)
+    print(
+        f"\n[E10] PIM-trie io_time uniform={out['uniform'].io_time} "
+        f"flood={out['flood'].io_time} (ratio {ratio:.2f})"
+    )
+    assert ratio < 4.0

@@ -1,0 +1,109 @@
+"""E2 — Table 1, Insert/Delete column.
+
+Amortized IO rounds and communication per operation for insert and
+delete batches.  Expected shapes:
+
+* Distributed radix tree: O(l/s) rounds and words per key;
+* Distributed x-fast trie: O(log l) rounds but O(l) words per key
+  (every level's table is touched);
+* PIM-trie: O(log P) rounds amortized, O(l/w) words per key.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from conftest import build_pimtrie, build_radix, build_xfast, fmt_row, measure
+from repro.workloads import uniform_keys
+
+N_INITIAL = 256
+N_OPS = 256
+
+
+def run_insert(P: int, length: int) -> dict:
+    initial = uniform_keys(N_INITIAL, length, seed=30)
+    inserts = uniform_keys(N_OPS, length, seed=40)
+    rows = {}
+
+    system, trie = build_pimtrie(P, initial)
+    _, m = measure(system, trie.insert_batch, inserts)
+    rows["pim_trie"] = m
+
+    system, radix = build_radix(P, initial, span=4)
+    _, m = measure(system, radix.insert_batch, inserts)
+    rows["dist_radix"] = m
+
+    if length <= 128:
+        system, xfast = build_xfast(P, initial, width=length)
+        _, m = measure(system, xfast.insert_batch, inserts)
+        rows["dist_xfast"] = m
+    return rows
+
+
+def run_delete(P: int, length: int) -> dict:
+    initial = uniform_keys(N_INITIAL, length, seed=30)
+    doomed = initial[:N_OPS]
+    rows = {}
+
+    system, trie = build_pimtrie(P, initial)
+    _, m = measure(system, trie.delete_batch, doomed)
+    rows["pim_trie"] = m
+
+    system, radix = build_radix(P, initial, span=4)
+    _, m = measure(system, radix.delete_batch, doomed)
+    rows["dist_radix"] = m
+
+    if length <= 128:
+        system, xfast = build_xfast(P, initial, width=length)
+        _, m = measure(system, xfast.delete_batch, doomed)
+        rows["dist_xfast"] = m
+    return rows
+
+
+@pytest.mark.parametrize("length", [32, 64, 128])
+def test_insert_vs_key_length(benchmark, length):
+    P = 16
+    rows = benchmark.pedantic(run_insert, args=(P, length), iterations=1, rounds=1)
+    print(f"\n[E2] Insert, P={P}, l={length} bits, batch={N_OPS}")
+    for name, m in rows.items():
+        print("  " + fmt_row(name, m, N_OPS))
+    # radix pays O(l/s) rounds; x-fast pays O(l) words/op
+    assert rows["dist_radix"].io_rounds >= length / 4
+    if "dist_xfast" in rows:
+        xf = rows["dist_xfast"].total_communication / N_OPS
+        pt = rows["pim_trie"].total_communication / N_OPS
+        assert xf > length / 2  # Θ(l) words per key
+        assert pt < xf  # PIM-trie beats x-fast on update traffic
+
+
+@pytest.mark.parametrize("length", [64, 128])
+def test_delete_vs_key_length(benchmark, length):
+    P = 16
+    rows = benchmark.pedantic(run_delete, args=(P, length), iterations=1, rounds=1)
+    print(f"\n[E2] Delete, P={P}, l={length} bits, batch={N_OPS}")
+    for name, m in rows.items():
+        print("  " + fmt_row(name, m, N_OPS))
+    assert rows["dist_radix"].io_rounds >= length / 4
+
+
+def test_insert_amortized_rounds(benchmark):
+    """Across many batches the amortized PIM-trie rounds stay O(log P)
+    despite occasional block re-partitioning and HVM rebuild storms."""
+    P = 16
+
+    def run():
+        system, trie = build_pimtrie(P, uniform_keys(64, 64, seed=1))
+        totals = []
+        for i in range(8):
+            batch = uniform_keys(128, 64, seed=100 + i)
+            _, m = measure(system, trie.insert_batch, batch)
+            totals.append(m.io_rounds)
+        return totals
+
+    totals = benchmark.pedantic(run, iterations=1, rounds=1)
+    amortized = sum(totals) / len(totals)
+    print(f"\n[E2] amortized insert rounds/batch over 8 batches: {amortized:.1f}"
+          f" (per-batch: {totals})")
+    assert amortized <= 14 * (math.log2(P) + 1)

@@ -1,0 +1,81 @@
+"""E1 — Table 1, LCP column.
+
+Measures IO rounds per batch and communication per operation for the
+three structures, sweeping the number of modules P and the key length
+l.  Expected shapes (Table 1):
+
+* Distributed radix tree: rounds ~ l/s, words/op ~ l/s;
+* Distributed x-fast trie: rounds ~ log l (fixed-length keys only);
+* PIM-trie: rounds ~ log P (flat in l), words/op ~ l/w + O(1).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from conftest import build_pimtrie, build_radix, build_xfast, fmt_row, measure
+from repro.workloads import uniform_keys
+
+N_KEYS = 256
+N_QUERIES = 256
+SPAN = 4
+
+
+def run_lcp_comparison(P: int, length: int) -> dict:
+    keys = uniform_keys(N_KEYS, length, seed=10)
+    # Half the queries are stored keys (LCP = l, forcing the full-depth
+    # descent Table 1 charges for) and half are fresh uniform keys
+    # (short matches).  Uniform-only queries diverge after ~log2(n) bits
+    # and would let the radix baseline off its O(l/s) worst case.
+    fresh = uniform_keys(N_QUERIES // 2, length, seed=20)
+    queries = keys[: N_QUERIES - len(fresh)] + fresh
+    rows = {}
+
+    system, trie = build_pimtrie(P, keys)
+    _, m = measure(system, trie.lcp_batch, queries)
+    rows["pim_trie"] = m
+
+    system, radix = build_radix(P, keys, span=SPAN)
+    _, m = measure(system, radix.lcp_batch, queries)
+    rows["dist_radix"] = m
+
+    if length <= 128:  # x-fast is fixed-width; keep table sizes sane
+        system, xfast = build_xfast(P, keys, width=length)
+        _, m = measure(system, xfast.lcp_batch, queries)
+        rows["dist_xfast"] = m
+    return rows
+
+
+@pytest.mark.parametrize("length", [32, 64, 128, 256])
+def test_lcp_vs_key_length(benchmark, length):
+    """Communication per op: PIM-trie ~ l/w, radix ~ l/s (s << w)."""
+    P = 16
+    rows = benchmark.pedantic(
+        run_lcp_comparison, args=(P, length), iterations=1, rounds=1
+    )
+    print(f"\n[E1] LCP, P={P}, l={length} bits, batch={N_QUERIES}")
+    for name, m in rows.items():
+        print("  " + fmt_row(name, m, N_QUERIES))
+    # shape checks (Table 1)
+    radix_rounds = rows["dist_radix"].io_rounds
+    pim_rounds = rows["pim_trie"].io_rounds
+    assert radix_rounds >= length / SPAN  # O(l/s) pointer chasing
+    assert pim_rounds <= 10 * (math.log2(P) + 1)  # O(log P), flat in l
+
+
+@pytest.mark.parametrize("P", [4, 16, 64])
+def test_lcp_vs_modules(benchmark, P):
+    """IO rounds: PIM-trie grows ~log P; radix is independent of P."""
+    length = 64
+    rows = benchmark.pedantic(
+        run_lcp_comparison, args=(P, length), iterations=1, rounds=1
+    )
+    print(f"\n[E1] LCP, P={P}, l={length} bits, batch={N_QUERIES}")
+    for name, m in rows.items():
+        print("  " + fmt_row(name, m, N_QUERIES))
+    assert rows["pim_trie"].io_rounds <= 10 * (math.log2(P) + 1)
+    # PIM-trie words/op stays within a small multiple of l/w + O(1)
+    per_op = rows["pim_trie"].total_communication / N_QUERIES
+    assert per_op < 40 * (length / 64 + 1)

@@ -1,0 +1,83 @@
+"""E4 — Table 1, Space column.
+
+Measured per-module memory (in words) of the three structures.
+Expected shapes:
+
+* PIM-trie and distributed radix tree: O(L_D/w + n_D) — linear in keys,
+  sub-linear in bit-length thanks to word packing / span chunking;
+* Distributed x-fast trie: Θ(l) words per key (a hash entry per level).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import build_pimtrie, build_radix, build_xfast
+from repro.workloads import uniform_keys
+
+
+@pytest.mark.parametrize("n", [128, 512, 2048])
+def test_space_vs_n(benchmark, n):
+    """Space scales linearly in the number of keys for all structures."""
+    P = 16
+    length = 64
+
+    def run():
+        keys = uniform_keys(n, length, seed=70)
+        out = {}
+        _, trie = build_pimtrie(P, keys)
+        out["pim_trie"] = trie.space_words()
+        _, radix = build_radix(P, keys, span=4)
+        out["dist_radix"] = radix.space_words()
+        _, xfast = build_xfast(P, keys, width=length)
+        out["dist_xfast"] = xfast.space_words()
+        return out
+
+    out = benchmark.pedantic(run, iterations=1, rounds=1)
+    print(f"\n[E4] space (words), n={n}, l=64:")
+    for name, words in out.items():
+        print(f"  {name:<28} {words:>9} words  ({words / n:6.1f} words/key)")
+    assert out["pim_trie"] < out["dist_xfast"]
+
+
+def test_space_vs_key_length(benchmark):
+    """x-fast grows Θ(l)/key; PIM-trie grows only ~l/w per key."""
+    P = 16
+    n = 256
+
+    def run():
+        out = []
+        for length in (32, 64, 128):
+            keys = uniform_keys(n, length, seed=71)
+            _, trie = build_pimtrie(P, keys)
+            _, xfast = build_xfast(P, keys, width=length)
+            out.append((length, trie.space_words(), xfast.space_words()))
+        return out
+
+    out = benchmark.pedantic(run, iterations=1, rounds=1)
+    print("\n[E4] space vs key length (words/key):")
+    for length, pt, xf in out:
+        print(f"  l={length:>4}: pim_trie={pt / n:7.1f}  dist_xfast={xf / n:7.1f}")
+    # quadrupling l quadruples x-fast space but far less for PIM-trie
+    (l0, pt0, xf0), (_, _, _), (l2, pt2, xf2) = out
+    assert xf2 / xf0 > 2.0
+    assert pt2 / pt0 < xf2 / xf0
+
+
+def test_space_linear_bound(benchmark):
+    """Lemma 4.2 / 4.7: total space O(L_D/w + n_D), including the HVM's
+    O(log P)-replicated hash values."""
+    P = 16
+    n = 1024
+    length = 64
+
+    def run():
+        keys = uniform_keys(n, length, seed=72)
+        _, trie = build_pimtrie(P, keys)
+        return trie.space_words()
+
+    words = benchmark.pedantic(run, iterations=1, rounds=1)
+    q_d = n * (length // 64 + 2)  # L_D/w + n_D (within constants)
+    print(f"\n[E4] PIM-trie total space {words} words vs Q_D~{q_d} "
+          f"(ratio {words / q_d:.1f})")
+    assert words < 60 * q_d  # constant-factor linear bound

@@ -1,0 +1,102 @@
+"""E3 — Table 1, Subtree column.
+
+SubtreeQuery cost for the three structures.  Expected shapes:
+
+* Distributed radix tree: up to O(n_S) IO rounds (frontier expansion
+  one level per round) and O(l/s + L_S/w + n_S) words;
+* Distributed x-fast trie: O(n_D) rounds worst case, O(L_S) words (it
+  expands one trie level per round and stores every level);
+* PIM-trie: O(log P) rounds and O((l + L_S)/w + n_S) words — the
+  result-size term is unavoidable, the round count is the win.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from conftest import build_pimtrie, build_radix, build_xfast, fmt_row, measure
+from repro import BitString
+from repro.workloads import uniform_keys
+
+
+def keyset(n: int, length: int, prefix_bits: int, seed: int) -> list[BitString]:
+    """Half the keys live under one fixed prefix (the query target)."""
+    base = uniform_keys(n, length, seed=seed)
+    prefix = BitString.from_str("10" * (prefix_bits // 2))
+    dense = [
+        prefix + k.suffix_from(prefix_bits) for k in base[: n // 2]
+    ]
+    return dense + base[n // 2 :]
+
+
+@pytest.mark.parametrize("result_frac", [0.1, 0.5])
+def test_subtree_cost(benchmark, result_frac):
+    P = 16
+    length = 64
+    n = 256
+    prefix_bits = 8
+
+    def run():
+        keys = keyset(n, length, prefix_bits, seed=50)
+        target = keys[0].prefix(prefix_bits)
+        # shrink/grow the result set by narrowing the prefix
+        extra = int(math.log2(max(2, 1 / result_frac)))
+        query = keys[0].prefix(prefix_bits + extra)
+        rows = {}
+        sizes = {}
+
+        system, trie = build_pimtrie(P, keys)
+        (res,), m = measure(system, trie.subtree_batch, [query])
+        rows["pim_trie"] = m
+        sizes["pim_trie"] = len(res)
+
+        system, radix = build_radix(P, keys, span=4)
+        aligned = query.prefix((len(query) // 4) * 4)
+        (res_r,), m = measure(system, radix.subtree_batch, [aligned])
+        rows["dist_radix"] = m
+        sizes["dist_radix"] = len(res_r)
+
+        system, xfast = build_xfast(P, keys, width=length)
+        (res_x,), m = measure(system, xfast.subtree_batch, [query])
+        rows["dist_xfast"] = m
+        sizes["dist_xfast"] = len(res_x)
+        return rows, sizes
+
+    rows, sizes = benchmark.pedantic(run, iterations=1, rounds=1)
+    print(f"\n[E3] Subtree, P={P}, result sizes: {sizes}")
+    for name, m in rows.items():
+        print("  " + fmt_row(name, m, max(1, sizes[name])))
+    # PIM-trie answers in far fewer rounds than the frontier expanders
+    assert rows["pim_trie"].io_rounds < rows["dist_xfast"].io_rounds
+    assert sizes["pim_trie"] > 0
+
+
+def test_subtree_rounds_flat_in_result_size(benchmark):
+    """PIM-trie subtree rounds should not grow with |result| (only the
+    words moved should)."""
+    P = 16
+
+    def run():
+        out = []
+        for frac_bits in (6, 3, 0):  # result ~ n/2^frac_bits
+            keys = keyset(512, 64, 8, seed=60)
+            query = keys[0].prefix(8 + frac_bits)
+            system, trie = build_pimtrie(P, keys)
+            (res,), m = measure(system, trie.subtree_batch, [query])
+            out.append((len(res), m.io_rounds, m.total_communication))
+        return out
+
+    out = benchmark.pedantic(run, iterations=1, rounds=1)
+    print("\n[E3] PIM-trie subtree: (result size, rounds, words)")
+    for size, rounds, words in out:
+        print(f"  |S|={size:>4}  rounds={rounds:>3}  words={words}")
+    sizes = [s for s, _, _ in out]
+    rounds = [r for _, r, _ in out]
+    words = [w for _, _, w in out]
+    assert sizes[-1] > 4 * sizes[0] > 0
+    # rounds grow at most mildly while the result grows by >4x
+    assert rounds[-1] <= rounds[0] + 2 * math.log2(P)
+    # communication does scale with the result
+    assert words[-1] > words[0]

@@ -1,0 +1,65 @@
+"""Shared fixtures/helpers for the benchmark harness.
+
+Each ``bench_*.py`` reproduces one table or figure of the paper (see
+DESIGN.md §3 for the experiment index).  Benchmarks print the measured
+rows — IO rounds, per-op words, load-balance ratios — so running
+
+    pytest benchmarks/ --benchmark-only -s
+
+regenerates the paper's comparisons on the simulated PIM Model.  The
+``pytest-benchmark`` timing numbers measure simulator wall-clock and
+are *not* paper quantities; the printed model metrics are.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import BitString, PIMSystem, PIMTrie, PIMTrieConfig
+from repro.baselines import (
+    DistributedRadixTree,
+    DistributedXFastTrie,
+    RangePartitionedIndex,
+)
+
+
+def measure(system: PIMSystem, fn, *args, **kwargs):
+    """Run ``fn`` and return (result, MetricsSnapshot delta)."""
+    before = system.snapshot()
+    result = fn(*args, **kwargs)
+    return result, system.snapshot().delta(before)
+
+
+def build_pimtrie(P, keys, seed=1, **cfg):
+    system = PIMSystem(P, seed=seed)
+    trie = PIMTrie(
+        system, PIMTrieConfig(num_modules=P, **cfg), keys=keys, values=None
+    )
+    return system, trie
+
+
+def build_radix(P, keys, span=4, seed=1):
+    system = PIMSystem(P, seed=seed)
+    tree = DistributedRadixTree(system, span=span, keys=keys)
+    return system, tree
+
+
+def build_xfast(P, keys, width, seed=1):
+    system = PIMSystem(P, seed=seed)
+    trie = DistributedXFastTrie(system, width=width, keys=keys)
+    return system, trie
+
+
+def build_range(P, keys, seed=1):
+    system = PIMSystem(P, seed=seed)
+    idx = RangePartitionedIndex(system, keys=keys)
+    return system, idx
+
+
+def fmt_row(label: str, metrics, n_ops: int) -> str:
+    return (
+        f"{label:<28} rounds={metrics.io_rounds:>4}  "
+        f"words/op={metrics.total_communication / max(1, n_ops):>9.2f}  "
+        f"io_time={metrics.io_time:>7}  "
+        f"imbalance={metrics.traffic_imbalance():>5.2f}"
+    )

@@ -1,0 +1,115 @@
+#!/usr/bin/env python
+"""Genome k-mer prefix index on a PIM-trie.
+
+The paper's conclusion names suffix trees / genome processing as the
+intended follow-on applications of the trie-matching machinery.  This
+example takes a synthetic DNA sequence, indexes all of its k-mers
+(2 bits per base) in a PIM-trie, and runs the core read-mapping
+primitive: for each read fragment, find the longest prefix that occurs
+in the genome (seed detection), in large batches.
+
+DNA is a naturally skewed alphabet workload — repeats (here: a planted
+tandem repeat) concentrate many k-mers on one subtree, which is exactly
+the data skew PIM-trie tolerates.
+
+Run:  python examples/genome_kmers.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import BitString, PIMSystem, PIMTrie, PIMTrieConfig
+
+BASES = "ACGT"
+ENC = {b: i for i, b in enumerate(BASES)}
+
+
+def encode(seq: str) -> BitString:
+    """2-bit encode a DNA string (A=00, C=01, G=10, T=11)."""
+    v = 0
+    for ch in seq:
+        v = (v << 2) | ENC[ch]
+    return BitString(v, 2 * len(seq))
+
+
+def decode(b: BitString) -> str:
+    assert len(b) % 2 == 0
+    return "".join(BASES[b.substring(i, i + 2).value] for i in range(0, len(b), 2))
+
+
+def synthetic_genome(n: int, seed: int = 0) -> str:
+    """Random genome with a planted 24-base tandem repeat region."""
+    rng = np.random.default_rng(seed)
+    body = "".join(BASES[i] for i in rng.integers(0, 4, size=n))
+    unit = "ACGTTGCAGGCTAACGTTGCAGGC"
+    mid = n // 2
+    return body[:mid] + unit * 12 + body[mid:]
+
+
+def main() -> None:
+    P = 16
+    K = 24  # k-mer length in bases (48 bits)
+    genome = synthetic_genome(3000, seed=5)
+    print(f"genome: {len(genome)} bases (with a planted tandem repeat)")
+
+    # --- index all k-mers -------------------------------------------
+    kmers = {}
+    for i in range(len(genome) - K + 1):
+        kmers.setdefault(genome[i : i + K], i)  # first occurrence position
+    keys = [encode(s) for s in kmers]
+    positions = list(kmers.values())
+    system = PIMSystem(P, seed=3)
+    index = PIMTrie(
+        system, PIMTrieConfig(num_modules=P), keys=keys, values=positions
+    )
+    print(f"indexed {index.num_keys()} distinct {K}-mers "
+          f"({index.num_blocks()} blocks on {P} modules)")
+
+    # --- batched seed detection --------------------------------------
+    rng = np.random.default_rng(9)
+    reads = []
+    for _ in range(256):
+        pos = int(rng.integers(0, len(genome) - K))
+        read = list(genome[pos : pos + K])
+        # mutate a suffix position to simulate sequencing error
+        mut = int(rng.integers(K // 2, K))
+        read[mut] = BASES[(ENC[read[mut]] + 1) % 4]
+        reads.append("".join(read))
+
+    before = system.snapshot()
+    lcps = index.lcp_batch([encode(r) for r in reads])
+    cost = system.snapshot().delta(before)
+    seed_lens = [l // 2 for l in lcps]  # bits -> bases
+    print(
+        f"\nseed detection over {len(reads)} reads: "
+        f"mean seed {np.mean(seed_lens):.1f} bases, "
+        f"min {min(seed_lens)}, max {max(seed_lens)}"
+    )
+    print(
+        f"cost: {cost.io_rounds} IO rounds, "
+        f"{cost.total_communication / len(reads):.1f} words/read, "
+        f"imbalance {cost.traffic_imbalance():.2f}"
+    )
+
+    # --- the repeat region: adversarial k-mer skew -------------------
+    unit = "ACGTTGCAGGCTAACGTTGCAGGC"
+    repeat_reads = [unit[i % 12 :][:K].ljust(K, "A") for i in range(256)]
+    before = system.snapshot()
+    index.lcp_batch([encode(r) for r in repeat_reads])
+    cost = system.snapshot().delta(before)
+    print(
+        f"\nrepeat-region burst (all reads hit the tandem repeat): "
+        f"imbalance {cost.traffic_imbalance():.2f} — balanced despite skew"
+    )
+
+    # --- k-mer neighborhood via SubtreeQuery --------------------------
+    probe = unit[:8]
+    (hits,) = index.subtree_batch([encode(probe)])
+    print(f"\nk-mers extending seed {probe!r}: {len(hits)}")
+    for km, pos in hits[:4]:
+        print(f"  {decode(km)}  @ position {pos}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""A skew-resistant key-value store: PIM-trie vs range partitioning.
+
+The scenario the paper's skew-resistance claim targets: a KV store
+whose tenants issue heavily skewed request streams (one hot tenant, or
+one hot keyspace region).  We run identical workloads against a
+PIM-trie and a range-partitioned index on identical simulated PIM
+systems and compare the *straggler* metrics the PIM Model exposes —
+IO time (max per-module traffic) and per-module load balance — across
+increasing skew.
+
+Run:  python examples/kv_store_skew.py
+"""
+
+from __future__ import annotations
+
+from repro import PIMSystem, PIMTrie, PIMTrieConfig
+from repro.baselines import RangePartitionedIndex
+from repro.workloads import single_range_flood, uniform_keys, zipf_prefix
+
+P = 16
+N_KEYS = 2048
+N_OPS = 1024
+LEN = 64
+
+
+def run(index_name: str, workload_name: str, queries):
+    system = PIMSystem(P, seed=5)
+    keys = uniform_keys(N_KEYS, LEN, seed=1)
+    values = [f"v{i}" for i in range(N_KEYS)]
+    if index_name == "pim_trie":
+        idx = PIMTrie(
+            system, PIMTrieConfig(num_modules=P), keys=keys, values=values
+        )
+    else:
+        idx = RangePartitionedIndex(system, keys=keys, values=values)
+    before = system.snapshot()
+    idx.lcp_batch(queries)
+    cost = system.snapshot().delta(before)
+    return cost
+
+
+def main() -> None:
+    workloads = {
+        "uniform": uniform_keys(N_OPS, LEN, seed=2),
+        "zipf(1.2)": zipf_prefix(N_OPS, LEN, theta=1.2, seed=3),
+        "zipf(1.6)": zipf_prefix(N_OPS, LEN, theta=1.6, seed=4),
+        "flood": single_range_flood(N_OPS, LEN, seed=5),
+    }
+    print(f"KV store on {P} PIM modules, {N_KEYS} keys, "
+          f"{N_OPS}-op read batches\n")
+    print(f"{'workload':<12} {'index':<18} {'io_time':>8} {'imbalance':>10} "
+          f"{'words/op':>9}")
+    print("-" * 62)
+    for wname, queries in workloads.items():
+        for iname in ("pim_trie", "range_partition"):
+            cost = run(iname, wname, queries)
+            print(
+                f"{wname:<12} {iname:<18} {cost.io_time:>8} "
+                f"{cost.traffic_imbalance():>10.2f} "
+                f"{cost.total_communication / N_OPS:>9.1f}"
+            )
+        print()
+    print(
+        "Reading the table: under 'flood' every request hits one key\n"
+        "range.  The range-partitioned store pushes the whole batch to a\n"
+        "single module (io_time ~= total words, imbalance -> P), while\n"
+        "the PIM-trie's random block placement plus Push-Pull keeps both\n"
+        "metrics near their uniform-workload values — the paper's\n"
+        "skew-resistance guarantee (Theorem 4.3, Definition 1)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Quickstart: build a PIM-trie, run every batch operation, and read the
+PIM Model cost metrics.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import BitString, PIMSystem, PIMTrie, PIMTrieConfig
+
+bs = BitString.from_str
+
+
+def main() -> None:
+    # A simulated PIM system with 8 modules (P = 8 in the paper).
+    system = PIMSystem(num_modules=8, seed=42)
+
+    # The data trie of the paper's Figure 1, plus values.
+    keys = ["000010", "00001101", "1010000", "1010111", "101011"]
+    trie = PIMTrie(
+        system,
+        PIMTrieConfig(num_modules=8),
+        keys=[bs(k) for k in keys],
+        values=[f"value-of-{k}" for k in keys],
+    )
+    print(f"built: {trie}")
+
+    # --- LongestCommonPrefix (§5.1) --------------------------------
+    queries = ["101001", "00001001", "111"]
+    before = system.snapshot()
+    lcps = trie.lcp_batch([bs(q) for q in queries])
+    cost = system.snapshot().delta(before)
+    print("\nLCP batch:")
+    for q, lcp in zip(queries, lcps):
+        print(f"  LCP({q!r}) = {lcp}   (matched prefix {q[:lcp]!r})")
+    print(
+        f"  cost: {cost.io_rounds} IO rounds, "
+        f"{cost.total_communication} words moved, "
+        f"traffic imbalance {cost.traffic_imbalance():.2f}"
+    )
+
+    # --- Insert (§5.2) ----------------------------------------------
+    fresh = ["1111", "101010"]
+    added = trie.insert_batch([bs(k) for k in fresh], [f"value-of-{k}" for k in fresh])
+    print(f"\ninserted {added} new keys -> {trie.num_keys()} total")
+
+    # --- exact lookups ----------------------------------------------
+    vals = trie.lookup_batch([bs("1111"), bs("0000")])
+    print(f"lookup('1111') = {vals[0]!r}, lookup('0000') = {vals[1]!r}")
+
+    # --- SubtreeQuery (§5.3) ----------------------------------------
+    (subtree,) = trie.subtree_batch([bs("1010")])
+    print("\nkeys under prefix '1010':")
+    for k, v in subtree:
+        print(f"  {k.to_str()}  ->  {v!r}")
+
+    # --- Delete (§5.2) ----------------------------------------------
+    removed = trie.delete_batch([bs("101011"), bs("000000")])
+    print(f"\ndeleted {removed} keys -> {trie.num_keys()} total")
+
+    # --- whole-run accounting ---------------------------------------
+    snap = system.snapshot()
+    print(
+        f"\nsession totals: {snap.io_rounds} rounds, "
+        f"{snap.total_communication} words, "
+        f"PIM time {snap.pim_time}, CPU work {snap.cpu_work}"
+    )
+
+
+if __name__ == "__main__":
+    main()

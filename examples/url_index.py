@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""A URL-path index with prefix analytics (SubtreeQuery showcase).
+
+Variable-length string keys are the trie family's home turf: this
+example indexes synthetic URL paths (as raw UTF-8 bit-strings) in a
+PIM-trie and runs the kind of prefix analytics a web log pipeline
+needs — "all endpoints under /api/v2", hit counting per subtree, and
+incremental index maintenance as new paths stream in.
+
+Run:  python examples/url_index.py
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+
+from repro import BitString, PIMSystem, PIMTrie, PIMTrieConfig
+from repro.workloads import text_keys
+
+
+def to_text(b: BitString) -> str:
+    raw = bytes(
+        int(b.to_str()[i : i + 8], 2) for i in range(0, len(b), 8)
+    )
+    return raw.decode("utf-8", errors="replace")
+
+
+def main() -> None:
+    P = 8
+    system = PIMSystem(P, seed=9)
+
+    # --- ingest an initial crawl -------------------------------------
+    paths = sorted(set(text_keys(3000, seed=21)))
+    hits = {p: int(h) for p, h in zip(paths, np.random.default_rng(1).integers(1, 500, len(paths)))}
+    index = PIMTrie(
+        system,
+        PIMTrieConfig(num_modules=P),
+        keys=paths,
+        values=[hits[p] for p in paths],
+    )
+    print(f"indexed {index.num_keys()} distinct URL paths "
+          f"({index.num_blocks()} trie blocks)")
+
+    # --- prefix analytics via SubtreeQuery ---------------------------
+    for prefix_text in ("/api", "/api/v2", "/static"):
+        prefix = BitString.from_text(prefix_text)
+        (rows,) = index.subtree_batch([prefix])
+        total_hits = sum(v for _, v in rows)
+        print(f"\n{prefix_text!r}: {len(rows)} endpoints, "
+              f"{total_hits} total hits")
+        top = sorted(rows, key=lambda kv: -kv[1])[:3]
+        for k, v in top:
+            print(f"  {to_text(k):<32} {v:>6} hits")
+
+    # --- batch LCP as a router: find the deepest known mount point ---
+    probes = ["/api/v2/users/42", "/img/logo.png", "/nope/nothing"]
+    lcps = index.lcp_batch([BitString.from_text(p) for p in probes])
+    print("\nrouting probes (longest known prefix, in whole bytes):")
+    for p, lcp in zip(probes, lcps):
+        print(f"  {p:<22} -> {p[: lcp // 8]!r}")
+
+    # --- streaming updates -------------------------------------------
+    stream = sorted(set(text_keys(500, seed=22)) - set(paths))
+    before = system.snapshot()
+    index.insert_batch(stream, [1] * len(stream))
+    cost = system.snapshot().delta(before)
+    print(
+        f"\nstreamed {len(stream)} new paths in {cost.io_rounds} IO rounds "
+        f"({cost.total_communication / max(1, len(stream)):.1f} words/path)"
+    )
+    print(f"index now holds {index.num_keys()} paths")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,4 @@
+"""Thin shim so editable installs work offline (no wheel/PEP 660 available)."""
+from setuptools import setup
+
+setup()

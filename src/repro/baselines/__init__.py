@@ -1,0 +1,13 @@
+"""Table-1 baselines and their substrates (paper §3.2, §3.4)."""
+
+from .distributed_radix import DistributedRadixTree
+from .distributed_xfast import DistributedXFastTrie
+from .pim_hash_table import PIMHashTable
+from .range_partitioned import RangePartitionedIndex
+
+__all__ = [
+    "DistributedRadixTree",
+    "DistributedXFastTrie",
+    "PIMHashTable",
+    "RangePartitionedIndex",
+]

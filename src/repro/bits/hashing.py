@@ -1,0 +1,174 @@
+"""Incremental hashing of bit-strings (paper Definitions 2 and 3).
+
+PIM-trie requires an *incremental* hash: after decomposing a query trie
+into blocks, the full string of a node may be absent from its block, so
+node hashes must be derivable from a prefix hash plus a suffix string.
+
+We use a two-stage design:
+
+* **Linear core.**  ``digest(s) = value(s) mod q`` with the Mersenne
+  prime ``q = 2^61 - 1``, paired with the bit length.  This is the
+  rolling polynomial hash with base ``x = 2`` and is *binary
+  associatively incremental* (Definition 3) exactly:
+
+      digest(AB) = digest(A) * 2^{|B|} + digest(B)   (mod q)
+
+  so node hashes over a trie can be produced by a rootfix scan and
+  pivot hashes by a prefix sum (Lemmas 4.4 / 4.9), at O(l/w) word cost
+  per l-bit string (Python's bignum arithmetic does the word loop in C).
+
+* **Seeded fingerprint.**  Wherever hash values are *compared* (hash
+  tables in the hash value manager, block-root matching), the linear
+  digest is finalized through a seed-derived affine map and truncated to
+  ``width`` bits.  Re-seeding realizes the paper's global re-hash
+  (§4.4.3); narrowing ``width`` injects collisions for the verification
+  experiments (E13).  Because the affine map is applied only at
+  comparison time, incrementality of the core is preserved.
+
+Collision behaviour: two equal-length strings share a fingerprint iff
+their affine-mapped digests agree in the low ``width`` bits — for
+``width = 61`` this needs ``value(A) ≡ value(B) (mod q)``, i.e. a
+difference divisible by ~2.3e18, which the synthetic workloads never
+produce; narrow widths collide freely, as E13 requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from .bitstring import BitString
+
+__all__ = ["IncrementalHasher", "HashValue", "MERSENNE_61"]
+
+#: Modulus for the rolling hash: the Mersenne prime 2^61 - 1.
+MERSENNE_61 = (1 << 61) - 1
+
+
+def _mod_m61(x: int) -> int:
+    """x mod (2^61 - 1) via Mersenne folding (no division on the hot path)."""
+    while x >> 61:
+        x = (x & MERSENNE_61) + (x >> 61)
+    return x if x != MERSENNE_61 else 0
+
+
+@dataclass(frozen=True)
+class HashValue:
+    """Linear-core hash of a bit-string together with the hashed length.
+
+    The length is required by the associative combine (Definition 3
+    permits the combiner to use operand lengths) and disambiguates
+    equal-value strings of different lengths (e.g. "1" vs "01").
+    """
+
+    digest: int
+    length: int
+
+    def __index__(self) -> int:
+        return self.digest
+
+
+class IncrementalHasher:
+    """Binary-associatively-incremental hash with seeded fingerprints.
+
+    Parameters
+    ----------
+    seed:
+        Selects the affine fingerprint map; a global re-hash (paper
+        §4.4.3) constructs a new hasher with a fresh seed.
+    width:
+        Number of fingerprint bits retained (1..61).  ``width=61`` is
+        effectively collision-free at simulated scales, matching the
+        paper's 5*log2(N)-bit choice; narrow it to force collisions.
+    """
+
+    def __init__(self, seed: int = 0x5151_7EA7, width: int = 61):
+        if not 1 <= width <= 61:
+            raise ValueError("hash width must be in [1, 61]")
+        self.seed = seed
+        self.width = width
+        # Affine finalizer parameters in [1, q-1] derived from the seed.
+        s = (seed * 6364136223846793005 + 1442695040888963407) & (1 << 64) - 1
+        self._mul = 1 + _mod_m61(s ^ (s >> 7)) % (MERSENNE_61 - 1)
+        s = (s * 6364136223846793005 + 1442695040888963407) & (1 << 64) - 1
+        self._add = 1 + _mod_m61(s ^ (s >> 11)) % (MERSENNE_61 - 1)
+        self._mask = (1 << width) - 1
+        # cache of 2^n mod q keyed by n (lengths repeat heavily)
+        self._pow_cache: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    def _pow2(self, n: int) -> int:
+        """2^n mod q with memoization on n."""
+        cached = self._pow_cache.get(n)
+        if cached is None:
+            cached = pow(2, n, MERSENNE_61)
+            if len(self._pow_cache) < 1 << 16:
+                self._pow_cache[n] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    # linear core
+    # ------------------------------------------------------------------
+    def hash(self, s: BitString) -> HashValue:
+        """Hash a full bit-string: O(l/w) word operations."""
+        return HashValue(s.value % MERSENNE_61, len(s))
+
+    def extend(self, prefix: HashValue, suffix: BitString) -> HashValue:
+        """h(AB) from h(A) and the bit-string B (Definition 2)."""
+        return self.combine(prefix, self.hash(suffix))
+
+    def combine(self, a: HashValue, b: HashValue) -> HashValue:
+        """Associative combine h(AB) from h(A), h(B), |B| (Definition 3)."""
+        digest = _mod_m61(a.digest * self._pow2(b.length) + b.digest)
+        return HashValue(digest, a.length + b.length)
+
+    def prefix_hashes(
+        self, s: BitString, positions: Sequence[int]
+    ) -> list[HashValue]:
+        """Hashes of ``s[:p]`` for each non-decreasing position ``p``.
+
+        The sequential realization of the parallel prefix sum in Lemma
+        4.4: one pass, O(l/w + #positions) word operations.
+        """
+        out: list[HashValue] = []
+        n = len(s)
+        v = s.value
+        prev_p = 0
+        digest = 0
+        for p in positions:
+            if not 0 <= p <= n:
+                raise ValueError(f"prefix position {p} out of range")
+            if p < prev_p:
+                raise ValueError("positions must be non-decreasing")
+            step = p - prev_p
+            if step:
+                chunk = (v >> (n - p)) & ((1 << step) - 1)
+                digest = _mod_m61(digest * self._pow2(step) + chunk % MERSENNE_61)
+            prev_p = p
+            out.append(HashValue(digest, p))
+        return out
+
+    def empty(self) -> HashValue:
+        """Hash of the empty string (the trie root)."""
+        return HashValue(0, 0)
+
+    # ------------------------------------------------------------------
+    # seeded fingerprints (what hash tables compare)
+    # ------------------------------------------------------------------
+    def fingerprint(self, h: HashValue) -> int:
+        """Comparison key for ``h``: the seeded, truncated node hash.
+
+        The string length is folded into the digest (so "1" and "01"
+        fingerprint differently despite equal values), then the result
+        is passed through the seed-derived affine map and truncated to
+        ``width`` bits.  At narrow widths any two strings may collide,
+        exactly the false-positive source §4.4.3's verification handles.
+        """
+        f = _mod_m61((h.digest + h.length * self._add + 1) * self._mul)
+        return f & self._mask
+
+    def fingerprint_of(self, s: BitString) -> int:
+        return self.fingerprint(self.hash(s))
+
+    def __repr__(self) -> str:
+        return f"IncrementalHasher(seed={self.seed:#x}, width={self.width})"

@@ -1,0 +1,33 @@
+"""PIM-trie core: blocks, hash value manager, trie matching, operations."""
+
+from .blocks import DataBlock, cut_long_edges, extract_blocks
+from .config import PIMTrieConfig
+from .hashmatch import CollisionLog, MatchCut, RecordTable, hash_match_fragment
+from .localmatch import LocalMatchResult, match_block_local
+from .meta import MetaPiece, MetaRecord, cut_node, decompose_component
+from .pimtrie import MatchEntry, MatchOutcome, PIMTrie
+from .query import PathPos, QueryFragment, fragment_whole_trie, span_fragments
+
+__all__ = [
+    "DataBlock",
+    "cut_long_edges",
+    "extract_blocks",
+    "PIMTrieConfig",
+    "CollisionLog",
+    "MatchCut",
+    "RecordTable",
+    "hash_match_fragment",
+    "LocalMatchResult",
+    "match_block_local",
+    "MetaPiece",
+    "MetaRecord",
+    "cut_node",
+    "decompose_component",
+    "MatchEntry",
+    "MatchOutcome",
+    "PIMTrie",
+    "PathPos",
+    "QueryFragment",
+    "fragment_whole_trie",
+    "span_fragments",
+]

@@ -1,0 +1,261 @@
+"""The hash value manager (paper §4.4): meta-tree, meta-blocks,
+recursive meta-block decomposition, and the replicated master-tree.
+
+Structure.  One *meta record* per data-trie block carries the block's
+root fingerprint, depth, PIM address, and the verification payloads
+(S_last, and the pivot decomposition hash(S_pre) / S_rem of §4.4.2).
+The meta-tree (blocks connected parent→child) is stored as *pieces* of
+at most K_SMB owned records each; pieces form meta-block trees of
+height O(log K_MB) built by the Lemma 4.5 cut-node loop.  Following
+§5.2 ("every meta-block tree node caches the information in its
+subtree"), each piece's lookup tables cover its whole represented
+subtree, so block root hashes are replicated O(log P) times — exactly
+the space budget of Lemma 4.7.
+
+Root pieces of meta-block trees are registered in the master-tree,
+which is replicated on every PIM module.
+
+Maintenance (paper §5.2).  Inserted blocks join the leaf piece owning
+their parent block and are replicated up the piece path.  A piece
+overflowing K_SMB is re-cut; a piece whose child outgrows the
+scapegoat factor alpha triggers a rebuild of that subtree; a meta-block
+tree outgrowing K_MB promotes the root piece's children to independent
+meta-block trees registered in the master-tree.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Optional
+
+from ..bits import BitString, HashValue, IncrementalHasher
+from ..fasttrie import ValidityIndex
+from .config import PIMTrieConfig
+
+__all__ = ["MetaRecord", "MetaPiece", "cut_node", "decompose_component"]
+
+_piece_ids = itertools.count(1)
+
+
+def next_piece_id() -> int:
+    return next(_piece_ids)
+
+
+@dataclass(frozen=True)
+class MetaRecord:
+    """Metadata of one data-trie block, as stored in the HVM.
+
+    Ships at O(1) words (S_last / S_rem are < w bits each).
+    """
+
+    block_id: int
+    fingerprint: int
+    depth: int
+    module: int
+    #: last min(w, depth) bits of the root string (§4.4.3 verification)
+    s_last: BitString
+    #: fingerprint of the root string's longest w-aligned prefix (§4.4.2)
+    s_pre_fp: int
+    #: the < w-bit suffix after that prefix (§4.4.2)
+    s_rem: BitString
+    parent_block: Optional[int]
+
+    def word_cost(self) -> int:
+        return 6
+
+    def aligned_depth(self) -> int:
+        return self.depth - len(self.s_rem)
+
+
+def make_record(
+    block_id: int,
+    root_string: BitString,
+    module: int,
+    hasher: IncrementalHasher,
+    parent_block: Optional[int],
+    w: int,
+) -> MetaRecord:
+    d = len(root_string)
+    pre_len = (d // w) * w
+    return MetaRecord(
+        block_id=block_id,
+        fingerprint=hasher.fingerprint_of(root_string),
+        depth=d,
+        module=module,
+        s_last=root_string.suffix_from(max(0, d - w)),
+        s_pre_fp=hasher.fingerprint_of(root_string.prefix(pre_len)),
+        s_rem=root_string.suffix_from(pre_len),
+        parent_block=parent_block,
+    )
+
+
+class MetaPiece:
+    """One piece of the meta-tree: up to K_SMB *owned* records plus the
+    replicated records of every descendant piece (subtree-complete).
+
+    Lives on a single PIM module (in its scratch store); the CPU driver
+    addresses it via its piece id.
+    """
+
+    def __init__(self, piece_id: int, module: int, w: int):
+        self.piece_id = piece_id
+        self.module = module
+        self.w = w
+        #: records this piece owns (counted against K_SMB)
+        self.owned: dict[int, MetaRecord] = {}
+        #: replicated subtree records (includes owned)
+        self.table: dict[int, MetaRecord] = {}
+        #: fingerprint -> block_id for subtree-complete lookup
+        self.by_fp: dict[int, list[int]] = {}
+        #: two-layer index: s_pre_fp -> (ValidityIndex over s_rem,
+        #: {s_rem -> block_id})
+        self.layer2: dict[int, tuple[ValidityIndex, dict[BitString, int]]] = {}
+        self.parent_piece: Optional[int] = None
+        self.child_pieces: list[int] = []
+        #: child piece id -> the block id rooting that child piece
+        self.child_roots: dict[int, int] = {}
+        #: the block whose record roots this piece's component
+        self.root_block: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    def add_record(self, rec: MetaRecord, *, owned: bool) -> None:
+        if owned:
+            self.owned[rec.block_id] = rec
+        if rec.block_id in self.table:
+            self.remove_record(rec.block_id, keep_owned=owned)
+            if owned:
+                self.owned[rec.block_id] = rec
+        self.table[rec.block_id] = rec
+        self.by_fp.setdefault(rec.fingerprint, []).append(rec.block_id)
+        entry = self.layer2.get(rec.s_pre_fp)
+        if entry is None:
+            entry = (ValidityIndex(self.w), {})
+            self.layer2[rec.s_pre_fp] = entry
+        vi, members = entry
+        if rec.s_rem not in members:
+            vi.insert(rec.s_rem)
+        members[rec.s_rem] = rec.block_id
+
+    def remove_record(self, block_id: int, *, keep_owned: bool = False) -> None:
+        rec = self.table.pop(block_id, None)
+        if not keep_owned:
+            self.owned.pop(block_id, None)
+        if rec is None:
+            return
+        ids = self.by_fp.get(rec.fingerprint)
+        if ids is not None:
+            ids.remove(block_id)
+            if not ids:
+                del self.by_fp[rec.fingerprint]
+        entry = self.layer2.get(rec.s_pre_fp)
+        if entry is not None:
+            vi, members = entry
+            if members.get(rec.s_rem) == block_id:
+                # another record may share the same (s_pre, s_rem)?  Block
+                # root strings are unique, so (s_pre_fp, s_rem) is unique
+                # per record whp; drop it.
+                del members[rec.s_rem]
+                vi.delete(rec.s_rem)
+            if not members:
+                del self.layer2[rec.s_pre_fp]
+
+    # ------------------------------------------------------------------
+    def own_size(self) -> int:
+        return len(self.owned)
+
+    def represented_size(self) -> int:
+        return len(self.table)
+
+    def word_cost(self) -> int:
+        """Shipping cost of the whole piece (pull rounds)."""
+        return 1 + sum(r.word_cost() for r in self.table.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"MetaPiece(id={self.piece_id}, own={len(self.owned)}, "
+            f"table={len(self.table)}, children={len(self.child_pieces)})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Lemma 4.5 cut node + recursive decomposition (§4.4.1)
+# ----------------------------------------------------------------------
+def cut_node(
+    nodes: list[int], children: dict[int, list[int]], root: int
+) -> int:
+    """The node minimizing the largest remaining piece after cutting all
+    of its out-edges (Lemma 4.5 guarantees the optimum is ≤ (n+1)/2)."""
+    n = len(nodes)
+    size: dict[int, int] = {}
+    # iterative post-order
+    order: list[int] = []
+    stack = [root]
+    while stack:
+        u = stack.pop()
+        order.append(u)
+        stack.extend(children.get(u, ()))
+    for u in reversed(order):
+        size[u] = 1 + sum(size[c] for c in children.get(u, ()))
+    best, best_cost = root, n + 1
+    for u in order:
+        kids = children.get(u, ())
+        upper = n - (size[u] - 1)
+        max_child = max((size[c] for c in kids), default=0)
+        cost = max(upper, max_child)
+        if cost < best_cost:
+            best, best_cost = u, cost
+    assert best_cost <= (n + 1) // 2 + 1, "Lemma 4.5 violated"
+    return best
+
+
+def decompose_component(
+    root: int,
+    children: dict[int, list[int]],
+    bound: int,
+) -> tuple[dict[int, list[int]], dict[int, list[int]], int]:
+    """Recursively decompose a tree component into pieces of ≤ ``bound``
+    owned nodes (the §4.4.1 cut loop).
+
+    Returns ``(piece_members, piece_children, root_key)`` where pieces
+    are keyed by their root node id: ``piece_members[k]`` lists node ids
+    owned by the piece rooted at node ``k``, and ``piece_children[k]``
+    lists the keys of child pieces.  The piece-tree height is
+    O(log n / log(1/alpha)) because every cut leaves pieces of at most
+    (n+1)/2 nodes (Lemma 4.5 / Lemma 4.6).
+    """
+
+    piece_members: dict[int, list[int]] = {}
+    piece_children: dict[int, list[int]] = {}
+
+    def collect(r: int, kids: dict[int, list[int]]) -> list[int]:
+        out: list[int] = []
+        stack = [r]
+        while stack:
+            u = stack.pop()
+            out.append(u)
+            stack.extend(kids.get(u, ()))
+        return out
+
+    def recurse(r: int, kids: dict[int, list[int]]) -> int:
+        members = collect(r, kids)
+        child_piece_keys: list[int] = []
+        # keep cutting child subtrees off until the remainder fits
+        local_kids = {u: list(kids.get(u, ())) for u in members}
+        while len(members) > bound:
+            v = cut_node(members, local_kids, r)
+            cut_children = list(local_kids.get(v, ()))
+            if not cut_children:
+                # v is a leaf: cutting does nothing; fall back to cutting
+                # the root's children (can happen only when bound < 2)
+                break
+            local_kids[v] = []
+            for c in cut_children:
+                child_piece_keys.append(recurse(c, local_kids))
+            members = collect(r, local_kids)
+        piece_members[r] = members
+        piece_children[r] = child_piece_keys
+        return r
+
+    root_key = recurse(root, children)
+    return piece_members, piece_children, root_key

@@ -1,0 +1,16 @@
+"""Fast-trie family: x-fast, y-fast, z-fast tries and the validity index."""
+
+from .validity import ValidityIndex
+from .wbtree import WeightBalancedTree
+from .xfast import XFastTrie
+from .yfast import YFastTrie
+from .zfast import ZFastTrie, two_fattest
+
+__all__ = [
+    "ValidityIndex",
+    "WeightBalancedTree",
+    "XFastTrie",
+    "YFastTrie",
+    "ZFastTrie",
+    "two_fattest",
+]

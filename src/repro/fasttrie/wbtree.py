@@ -1,0 +1,241 @@
+"""Weight-balanced binary search tree (BB[alpha] tree).
+
+Paper §5.2 (Load Balance): y-fast trie insertions/deletions are
+amortized O(log w) but worst-case O(w), which can unbalance PIM time;
+"they can be de-amortized by using a weight balanced tree as the
+internal binary search tree".  This module provides that substrate: a
+BB[alpha] tree whose every single update costs O(log n) worst-case
+pointer work plus at most one localized subtree rebuild whose size is
+geometrically distributed — no Θ(n) single-operation spikes from bucket
+splits.
+
+:class:`WeightBalancedTree` supports insert/delete/contains,
+predecessor/successor, min/max, and in-order iteration.  The
+``max_work_per_op`` instrumentation records the largest single-update
+rebuild, which the de-amortization experiments read.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+__all__ = ["WeightBalancedTree"]
+
+
+class _Node:
+    __slots__ = ("key", "left", "right", "size")
+
+    def __init__(self, key: int):
+        self.key = key
+        self.left: Optional["_Node"] = None
+        self.right: Optional["_Node"] = None
+        self.size = 1
+
+
+def _size(n: Optional[_Node]) -> int:
+    return n.size if n is not None else 0
+
+
+class WeightBalancedTree:
+    """BB[alpha] tree over integer keys (alpha = 0.25 by default:
+    rebuild a subtree when one side holds more than (1-alpha) of it)."""
+
+    def __init__(self, alpha: float = 0.25):
+        if not 0.0 < alpha < 0.5:
+            raise ValueError("alpha must be in (0, 0.5)")
+        self.alpha = alpha
+        self.root: Optional[_Node] = None
+        #: size of the largest single-operation rebuild (instrumentation)
+        self.max_work_per_op = 0
+        #: total rebuild work across the tree's lifetime
+        self.total_rebuild_work = 0
+        self._work_this_op = 0
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return _size(self.root)
+
+    def __contains__(self, key: int) -> bool:
+        cur = self.root
+        while cur is not None:
+            if key == cur.key:
+                return True
+            cur = cur.left if key < cur.key else cur.right
+        return False
+
+    # ------------------------------------------------------------------
+    def _balanced(self, n: _Node) -> bool:
+        w = n.size + 1
+        lo = self.alpha * w
+        return lo <= _size(n.left) + 1 and lo <= _size(n.right) + 1
+
+    def _rebuild(self, n: _Node) -> _Node:
+        """Flatten and rebuild perfectly balanced; O(|subtree|)."""
+        nodes: list[_Node] = []
+
+        def flatten(x: Optional[_Node]) -> None:
+            if x is None:
+                return
+            flatten(x.left)
+            nodes.append(x)
+            flatten(x.right)
+
+        flatten(n)
+        self._work_this_op += len(nodes)
+
+        def build(lo: int, hi: int) -> Optional[_Node]:
+            if lo > hi:
+                return None
+            mid = (lo + hi) // 2
+            node = nodes[mid]
+            node.left = build(lo, mid - 1)
+            node.right = build(mid + 1, hi)
+            node.size = 1 + _size(node.left) + _size(node.right)
+            return node
+
+        return build(0, len(nodes) - 1)
+
+    # ------------------------------------------------------------------
+    def insert(self, key: int) -> bool:
+        self._work_this_op = 0
+        self._path: list[_Node] = []
+        before = len(self)
+        self.root = self._insert(self.root, key)
+        self._fix_highest()
+        self.max_work_per_op = max(self.max_work_per_op, self._work_this_op)
+        self.total_rebuild_work += self._work_this_op
+        return len(self) != before
+
+    def _insert(self, n: Optional[_Node], key: int) -> _Node:
+        if n is None:
+            return _Node(key)
+        self._path.append(n)
+        if key == n.key:
+            return n
+        if key < n.key:
+            n.left = self._insert(n.left, key)
+        else:
+            n.right = self._insert(n.right, key)
+        n.size = 1 + _size(n.left) + _size(n.right)
+        return n
+
+    def _fix_highest(self) -> None:
+        """Scapegoat discipline: rebuild only the *highest* unbalanced
+        node on the just-updated path, so one update never pays for
+        cascading rebuilds (the §5.2 de-amortization property).  All
+        size changes of an update happen on the recorded path, so any
+        newly unbalanced node lies on it."""
+        for i, n in enumerate(self._path):
+            if self._balanced(n):
+                continue
+            rebuilt = self._rebuild(n)
+            if i == 0:
+                self.root = rebuilt
+            else:
+                parent = self._path[i - 1]
+                if parent.left is n:
+                    parent.left = rebuilt
+                else:
+                    parent.right = rebuilt
+            return
+
+    def delete(self, key: int) -> bool:
+        self._work_this_op = 0
+        self._path = []
+        before = len(self)
+        self.root = self._delete(self.root, key)
+        self._fix_highest()
+        self.max_work_per_op = max(self.max_work_per_op, self._work_this_op)
+        self.total_rebuild_work += self._work_this_op
+        return len(self) != before
+
+    def _delete(self, n: Optional[_Node], key: int) -> Optional[_Node]:
+        if n is None:
+            return None
+        self._path.append(n)
+        if key < n.key:
+            n.left = self._delete(n.left, key)
+        elif key > n.key:
+            n.right = self._delete(n.right, key)
+        else:
+            if n.left is None:
+                return n.right
+            if n.right is None:
+                return n.left
+            # replace with successor
+            succ = n.right
+            while succ.left is not None:
+                succ = succ.left
+            n.key = succ.key
+            n.right = self._delete(n.right, succ.key)
+        n.size = 1 + _size(n.left) + _size(n.right)
+        return n
+
+    # ------------------------------------------------------------------
+    def predecessor(self, key: int) -> Optional[int]:
+        best = None
+        cur = self.root
+        while cur is not None:
+            if cur.key < key:
+                best = cur.key
+                cur = cur.right
+            else:
+                cur = cur.left
+        return best
+
+    def successor(self, key: int) -> Optional[int]:
+        best = None
+        cur = self.root
+        while cur is not None:
+            if cur.key > key:
+                best = cur.key
+                cur = cur.left
+            else:
+                cur = cur.right
+        return best
+
+    def min(self) -> Optional[int]:
+        cur = self.root
+        if cur is None:
+            return None
+        while cur.left is not None:
+            cur = cur.left
+        return cur.key
+
+    def max(self) -> Optional[int]:
+        cur = self.root
+        if cur is None:
+            return None
+        while cur.right is not None:
+            cur = cur.right
+        return cur.key
+
+    def __iter__(self) -> Iterator[int]:
+        stack: list[_Node] = []
+        cur = self.root
+        while stack or cur is not None:
+            while cur is not None:
+                stack.append(cur)
+                cur = cur.left
+            cur = stack.pop()
+            yield cur.key
+            cur = cur.right
+
+    def height(self) -> int:
+        def h(n: Optional[_Node]) -> int:
+            return 0 if n is None else 1 + max(h(n.left), h(n.right))
+
+        return h(self.root)
+
+    def check_invariants(self) -> None:
+        def walk(n: Optional[_Node], lo, hi) -> int:
+            if n is None:
+                return 0
+            assert (lo is None or n.key > lo) and (hi is None or n.key < hi)
+            ls = walk(n.left, lo, n.key)
+            rs = walk(n.right, n.key, hi)
+            assert n.size == 1 + ls + rs
+            assert self._balanced(n), f"unbalanced at {n.key}"
+            return n.size
+
+        walk(self.root, None, None)

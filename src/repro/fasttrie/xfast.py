@@ -1,0 +1,192 @@
+"""x-fast trie over fixed-width integer keys (Willard 1983; paper §3.1).
+
+Stores a hash table per level of the implicit binary trie of w-bit
+integers.  Queries binary-search over the w levels to find the longest
+stored prefix, giving O(log w) lookup/predecessor/successor.  Space is
+O(n·w) table entries and updates cost O(w) — the costs the paper cites
+when dismissing x-fast tries as a standalone PIM index (Table 1 row 2),
+and the reason y-fast tries bucket the leaves.
+
+Descendant pointers: every internal prefix node stores the minimum and
+maximum leaf below it, so predecessor/successor resolve in O(1) after
+the binary search, via a doubly-linked leaf list.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+__all__ = ["XFastTrie"]
+
+
+class _Leaf:
+    __slots__ = ("key", "prev", "next")
+
+    def __init__(self, key: int):
+        self.key = key
+        self.prev: Optional["_Leaf"] = None
+        self.next: Optional["_Leaf"] = None
+
+
+class XFastTrie:
+    """x-fast trie over integers in [0, 2^width)."""
+
+    def __init__(self, width: int):
+        if width < 1:
+            raise ValueError("width must be >= 1")
+        self.width = width
+        # level[k] maps the k-bit prefix value -> (min_leaf, max_leaf)
+        self._levels: list[dict[int, tuple[_Leaf, _Leaf]]] = [
+            {} for _ in range(width + 1)
+        ]
+        self._leaves: dict[int, _Leaf] = {}
+        self._probes = 0  # instrumentation: hash-table probes
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._leaves)
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._leaves
+
+    def _check_key(self, key: int) -> None:
+        if not 0 <= key < (1 << self.width):
+            raise ValueError(f"key {key} out of range for width {self.width}")
+
+    # ------------------------------------------------------------------
+    def insert(self, key: int) -> bool:
+        """Insert ``key``; O(w) table updates.  True if new."""
+        self._check_key(key)
+        if key in self._leaves:
+            return False
+        leaf = _Leaf(key)
+        # link into the sorted leaf list via predecessor
+        pred = self.predecessor(key)
+        if pred is not None:
+            p = self._leaves[pred]
+            leaf.next = p.next
+            leaf.prev = p
+            if p.next is not None:
+                p.next.prev = leaf
+            p.next = leaf
+        else:
+            succ = self.successor(key)
+            if succ is not None:
+                s = self._leaves[succ]
+                leaf.prev = s.prev
+                leaf.next = s
+                s.prev = leaf
+        self._leaves[key] = leaf
+        for k in range(self.width + 1):
+            prefix = key >> (self.width - k)
+            entry = self._levels[k].get(prefix)
+            if entry is None:
+                self._levels[k][prefix] = (leaf, leaf)
+            else:
+                lo, hi = entry
+                if key < lo.key:
+                    lo = leaf
+                if key > hi.key:
+                    hi = leaf
+                self._levels[k][prefix] = (lo, hi)
+        return True
+
+    def delete(self, key: int) -> bool:
+        """Remove ``key``; O(w) table updates.  True if present."""
+        self._check_key(key)
+        leaf = self._leaves.pop(key, None)
+        if leaf is None:
+            return False
+        if leaf.prev is not None:
+            leaf.prev.next = leaf.next
+        if leaf.next is not None:
+            leaf.next.prev = leaf.prev
+        for k in range(self.width + 1):
+            prefix = key >> (self.width - k)
+            lo, hi = self._levels[k][prefix]
+            if lo is leaf and hi is leaf:
+                del self._levels[k][prefix]
+                continue
+            if lo is leaf:
+                assert leaf.next is not None
+                lo = leaf.next
+            if hi is leaf:
+                assert leaf.prev is not None
+                hi = leaf.prev
+            self._levels[k][prefix] = (lo, hi)
+        return True
+
+    # ------------------------------------------------------------------
+    def longest_prefix_level(self, key: int) -> int:
+        """Length of the longest prefix of ``key`` present in the trie.
+
+        Binary search over levels: O(log w) hash probes.
+        """
+        self._check_key(key)
+        if not self._leaves:
+            return -1
+        lo, hi = 0, self.width
+        # invariant: prefix of length lo is present (level 0 always is)
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            self._probes += 1
+            if (key >> (self.width - mid)) in self._levels[mid]:
+                lo = mid
+            else:
+                hi = mid - 1
+        return lo
+
+    def predecessor(self, key: int) -> Optional[int]:
+        """Largest stored key strictly less than ``key``; O(log w)."""
+        self._check_key(key)
+        if not self._leaves:
+            return None
+        level = self.longest_prefix_level(key)
+        if level == self.width:
+            leaf = self._leaves[key]
+            return leaf.prev.key if leaf.prev is not None else None
+        prefix = key >> (self.width - level)
+        lo, hi = self._levels[level][prefix]
+        # key diverges below this prefix: went right or left of the range
+        if key > hi.key:
+            return hi.key
+        # key < lo.key: everything under the prefix is larger
+        cand = lo.prev
+        return cand.key if cand is not None else None
+
+    def successor(self, key: int) -> Optional[int]:
+        """Smallest stored key strictly greater than ``key``; O(log w)."""
+        self._check_key(key)
+        if not self._leaves:
+            return None
+        level = self.longest_prefix_level(key)
+        if level == self.width:
+            leaf = self._leaves[key]
+            return leaf.next.key if leaf.next is not None else None
+        prefix = key >> (self.width - level)
+        lo, hi = self._levels[level][prefix]
+        if key < lo.key:
+            return lo.key
+        cand = hi.next
+        return cand.key if cand is not None else None
+
+    # ------------------------------------------------------------------
+    def keys(self) -> Iterator[int]:
+        if not self._leaves:
+            return
+        cur: Optional[_Leaf] = self._leaves[min(self._leaves)]
+        while cur is not None:
+            yield cur.key
+            cur = cur.next
+
+    @property
+    def probes(self) -> int:
+        """Cumulative hash-table probes (for the O(log w) experiments)."""
+        return self._probes
+
+    def space_entries(self) -> int:
+        """Total hash-table entries across levels (Θ(n·w), Table 1)."""
+        return sum(len(lvl) for lvl in self._levels)
+
+    def __repr__(self) -> str:
+        return f"XFastTrie(width={self.width}, n={len(self._leaves)})"

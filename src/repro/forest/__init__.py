@@ -1,0 +1,6 @@
+"""Dynamic-forest substrate: treap sequences and Euler-tour trees."""
+
+from .euler_tour_tree import EulerTourForest
+from .sequence import SeqNode, TreapSequence
+
+__all__ = ["EulerTourForest", "SeqNode", "TreapSequence"]

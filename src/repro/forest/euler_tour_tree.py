@@ -1,0 +1,138 @@
+"""Euler-tour trees: a dynamic forest with O(log n) link, cut, subtree
+size, and connectivity (Tseng–Dhulipala–Blelloch style, paper §4.4.2).
+
+PIM-trie uses this structure for *efficient block partition*: dividing
+oversized query-trie blocks in each pull round is a dynamic-forest
+problem with edge deletions and subtree-size queries; maintaining Euler
+tours avoids re-materializing O(Q_Q) of trie per round.
+
+Representation.  Each tree's Euler tour is kept in one treap sequence.
+A vertex v is represented by its *first* occurrence node; each directed
+edge (u, v) has one occurrence node.  The tour of a tree rooted at r is
+
+    r  (u1-tour)  r  (u2-tour)  r ...
+
+where entering child u appends the edge-occurrence (r→u), the child's
+tour, then the return occurrence... here we use the standard compact
+scheme: tour = sequence of *vertex occurrences*; edge (u,v) maps to two
+splice points.  We store, per undirected edge, the two arc nodes
+(u→v and v→u), and per vertex, its representative occurrence node.
+
+Subtree size (with respect to the current root) is the number of vertex
+occurrences strictly inside the arc pair, divided by... we instead
+augment by counting vertex-representative occurrences between the arcs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Iterator, Optional
+
+from .sequence import SeqNode, TreapSequence
+
+__all__ = ["EulerTourForest"]
+
+
+class EulerTourForest:
+    """Dynamic rooted forest over hashable vertex ids.
+
+    Supported (all O(log n) whp): ``add_vertex``, ``link(child, parent)``,
+    ``cut(child)``, ``root_of``, ``connected``, ``subtree_size``,
+    ``subtree_vertices`` (O(log n + k)).
+
+    The tour of each tree is the bracket sequence: for vertex v with
+    children c1..ck the tour is ``open(v) tour(c1) ... tour(ck) close(v)``.
+    ``open(v)`` is v's representative occurrence.  Subtree size = number
+    of ``open`` occurrences between open(v) and close(v) inclusive, which
+    we get from treap positions (each vertex contributes one open and one
+    close, so the slice length is exactly 2 * subtree size).
+    """
+
+    def __init__(self, seed: int = 0):
+        self._seq = TreapSequence(seed)
+        self._open: dict[Hashable, SeqNode] = {}
+        self._close: dict[Hashable, SeqNode] = {}
+        self._parent: dict[Hashable, Optional[Hashable]] = {}
+
+    # ------------------------------------------------------------------
+    def __contains__(self, v: Hashable) -> bool:
+        return v in self._open
+
+    def __len__(self) -> int:
+        return len(self._open)
+
+    def add_vertex(self, v: Hashable) -> None:
+        """Add an isolated vertex (its own one-node tree)."""
+        if v in self._open:
+            raise ValueError(f"vertex {v!r} already present")
+        o = self._seq.make(("open", v))
+        c = self._seq.make(("close", v))
+        self._seq.merge(o, c)
+        self._open[v] = o
+        self._close[v] = c
+        self._parent[v] = None
+
+    # ------------------------------------------------------------------
+    def root_of(self, v: Hashable) -> Hashable:
+        """Root of v's tree: the vertex of the first tour occurrence."""
+        root_node = self._open[v].root()
+        first = self._seq.first(root_node)
+        return first.value[1]
+
+    def connected(self, u: Hashable, v: Hashable) -> bool:
+        return self._open[u].root() is self._open[v].root()
+
+    def parent_of(self, v: Hashable) -> Optional[Hashable]:
+        return self._parent[v]
+
+    # ------------------------------------------------------------------
+    def link(self, child: Hashable, parent: Hashable) -> None:
+        """Attach ``child``'s tree under ``parent`` (child must be a root)."""
+        if self._parent[child] is not None:
+            raise ValueError(f"{child!r} is not a root")
+        if self._open[child].root() is self._open[parent].root():
+            raise ValueError("link would create a cycle")
+        # splice child's tour just before close(parent)
+        child_tour = self._open[child].root()
+        before, after = self._seq.split_at_node(self._close[parent])
+        self._seq.merge(self._seq.merge(before, child_tour), after)
+        self._parent[child] = parent
+
+    def cut(self, child: Hashable) -> None:
+        """Detach ``child``'s subtree into its own tree."""
+        if self._parent[child] is None:
+            raise ValueError(f"{child!r} is already a root")
+        before, rest = self._seq.split_at_node(self._open[child])
+        k = self._close[child].index() + 1  # position within `rest`
+        subtree, after = self._seq.split(rest, k)
+        self._seq.merge(before, after)
+        # subtree now stands alone as its own tour
+        assert subtree is not None
+        self._parent[child] = None
+
+    # ------------------------------------------------------------------
+    def subtree_size(self, v: Hashable) -> int:
+        """Number of vertices in v's subtree (w.r.t. current roots)."""
+        before, rest = self._seq.split_at_node(self._open[v])
+        k = self._close[v].index() + 1
+        sub, after = self._seq.split(rest, k)
+        size = self._seq.size(sub) // 2
+        self._seq.merge(self._seq.merge(before, sub), after)
+        return size
+
+    def subtree_vertices(self, v: Hashable) -> list[Hashable]:
+        """All vertices in v's subtree; O(log n + k)."""
+        before, rest = self._seq.split_at_node(self._open[v])
+        k = self._close[v].index() + 1
+        sub, after = self._seq.split(rest, k)
+        out = [n.value[1] for n in self._seq.iterate(sub) if n.value[0] == "open"]
+        self._seq.merge(self._seq.merge(before, sub), after)
+        return out
+
+    def tree_size(self, v: Hashable) -> int:
+        """Number of vertices in v's whole tree."""
+        return self._open[v].root().size // 2
+
+    def tour(self, v: Hashable) -> Iterator[tuple[str, Hashable]]:
+        """The full Euler tour of v's tree (debugging / tests)."""
+        for node in self._seq.iterate(self._open[v].root()):
+            yield node.value

@@ -1,0 +1,177 @@
+"""PIM Model cost accounting (paper §2).
+
+The PIM Model measures, per BSP-style synchronous round:
+
+* **IO rounds** — the number of rounds executed;
+* **IO time** — the maximum number of word-sized messages to/from any
+  single PIM module in the round (maxima are taken per round and summed
+  across rounds);
+* **total communication** — the sum of words moved between the CPU and
+  all modules (used to report per-operation communication, Table 1);
+* **PIM time** — the maximum kernel work on any one module per round,
+  summed across rounds;
+* **CPU work** — total host-side instructions (we count abstract
+  operations via explicit ticks).
+
+``MetricsCollector`` accumulates these; ``snapshot()/delta()`` let a
+caller measure a single batch.  Per-module cumulative traffic and work
+are also retained so benchmarks can report load-balance ratios
+(max/mean), the paper's skew-resistance criterion (Definition 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["MetricsCollector", "MetricsSnapshot", "RoundRecord"]
+
+
+@dataclass(frozen=True)
+class RoundRecord:
+    """Per-round accounting: words moved and kernel work, per module."""
+
+    words_to: tuple[int, ...]
+    words_from: tuple[int, ...]
+    kernel_work: tuple[int, ...]
+
+    @property
+    def io_time(self) -> int:
+        """Max words to/from any single module in this round."""
+        return max(
+            max(self.words_to, default=0), max(self.words_from, default=0)
+        )
+
+    @property
+    def total_words(self) -> int:
+        return sum(self.words_to) + sum(self.words_from)
+
+    @property
+    def pim_time(self) -> int:
+        return max(self.kernel_work, default=0)
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """Cumulative metrics at a point in time (all counts, no wall clock)."""
+
+    io_rounds: int
+    io_time: int
+    total_communication: int
+    pim_time: int
+    pim_work: int
+    cpu_work: int
+    per_module_traffic: tuple[int, ...]
+    per_module_work: tuple[int, ...]
+
+    def delta(self, earlier: "MetricsSnapshot") -> "MetricsSnapshot":
+        """Metrics accumulated since ``earlier``."""
+        return MetricsSnapshot(
+            io_rounds=self.io_rounds - earlier.io_rounds,
+            io_time=self.io_time - earlier.io_time,
+            total_communication=self.total_communication
+            - earlier.total_communication,
+            pim_time=self.pim_time - earlier.pim_time,
+            pim_work=self.pim_work - earlier.pim_work,
+            cpu_work=self.cpu_work - earlier.cpu_work,
+            per_module_traffic=tuple(
+                a - b
+                for a, b in zip(self.per_module_traffic, earlier.per_module_traffic)
+            ),
+            per_module_work=tuple(
+                a - b
+                for a, b in zip(self.per_module_work, earlier.per_module_work)
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # load-balance statistics (Definition 1: PIM-balanced)
+    # ------------------------------------------------------------------
+    def traffic_imbalance(self) -> float:
+        """max/mean per-module traffic; 1.0 is perfectly balanced."""
+        t = np.asarray(self.per_module_traffic, dtype=np.float64)
+        mean = t.mean()
+        return float(t.max() / mean) if mean > 0 else 1.0
+
+    def work_imbalance(self) -> float:
+        """max/mean per-module kernel work; 1.0 is perfectly balanced."""
+        t = np.asarray(self.per_module_work, dtype=np.float64)
+        mean = t.mean()
+        return float(t.max() / mean) if mean > 0 else 1.0
+
+    def as_dict(self) -> dict:
+        return {
+            "io_rounds": self.io_rounds,
+            "io_time": self.io_time,
+            "total_communication": self.total_communication,
+            "pim_time": self.pim_time,
+            "pim_work": self.pim_work,
+            "cpu_work": self.cpu_work,
+            "traffic_imbalance": self.traffic_imbalance(),
+            "work_imbalance": self.work_imbalance(),
+        }
+
+
+class MetricsCollector:
+    """Accumulates PIM Model costs across rounds for one PIMSystem."""
+
+    def __init__(self, num_modules: int, *, keep_round_log: bool = False):
+        self.num_modules = num_modules
+        self.keep_round_log = keep_round_log
+        self.rounds: list[RoundRecord] = []
+        self.io_rounds = 0
+        self.io_time = 0
+        self.total_communication = 0
+        self.pim_time = 0
+        self.pim_work = 0
+        self.cpu_work = 0
+        self._traffic = [0] * num_modules
+        self._work = [0] * num_modules
+
+    # ------------------------------------------------------------------
+    def record_round(
+        self,
+        words_to: list[int],
+        words_from: list[int],
+        kernel_work: list[int],
+    ) -> None:
+        rec = RoundRecord(tuple(words_to), tuple(words_from), tuple(kernel_work))
+        self.io_rounds += 1
+        self.io_time += rec.io_time
+        self.total_communication += rec.total_words
+        self.pim_time += rec.pim_time
+        self.pim_work += sum(kernel_work)
+        for m in range(self.num_modules):
+            self._traffic[m] += words_to[m] + words_from[m]
+            self._work[m] += kernel_work[m]
+        if self.keep_round_log:
+            self.rounds.append(rec)
+
+    def tick_cpu(self, n: int = 1) -> None:
+        """Account ``n`` units of host CPU work."""
+        self.cpu_work += n
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> MetricsSnapshot:
+        return MetricsSnapshot(
+            io_rounds=self.io_rounds,
+            io_time=self.io_time,
+            total_communication=self.total_communication,
+            pim_time=self.pim_time,
+            pim_work=self.pim_work,
+            cpu_work=self.cpu_work,
+            per_module_traffic=tuple(self._traffic),
+            per_module_work=tuple(self._work),
+        )
+
+    def reset(self) -> None:
+        self.rounds.clear()
+        self.io_rounds = 0
+        self.io_time = 0
+        self.total_communication = 0
+        self.pim_time = 0
+        self.pim_work = 0
+        self.cpu_work = 0
+        self._traffic = [0] * self.num_modules
+        self._work = [0] * self.num_modules

@@ -1,0 +1,89 @@
+"""A single simulated PIM module: private memory plus a metered processor.
+
+Each module owns a local object heap addressed by integer handles (the
+"local memory address" half of the paper's PIM address).  Kernels run on
+a :class:`ModuleContext` which exposes the heap and a ``work`` counter;
+kernel code calls ``ctx.tick(n)`` to meter its PIM work.  Modules can
+only touch their own memory — the simulator enforces the PIM Model's
+isolation by construction (kernels are handed their own context only).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+__all__ = ["ModuleContext", "PIMModule"]
+
+
+class ModuleContext:
+    """Execution context handed to a kernel running on one module."""
+
+    __slots__ = ("module_id", "heap", "work", "_next_addr", "scratch")
+
+    def __init__(self, module_id: int):
+        self.module_id = module_id
+        self.heap: dict[int, Any] = {}
+        #: named persistent per-module state (hash tables, replicas, ...)
+        self.scratch: dict[str, Any] = {}
+        self.work = 0
+        self._next_addr = 1
+
+    # ------------------------------------------------------------------
+    # local memory management
+    # ------------------------------------------------------------------
+    def alloc(self, obj: Any) -> int:
+        """Store ``obj`` in local memory; return its local address."""
+        addr = self._next_addr
+        self._next_addr += 1
+        self.heap[addr] = obj
+        return addr
+
+    def load(self, addr: int) -> Any:
+        try:
+            return self.heap[addr]
+        except KeyError:
+            raise KeyError(
+                f"module {self.module_id}: no object at local address {addr}"
+            ) from None
+
+    def store(self, addr: int, obj: Any) -> None:
+        if addr not in self.heap:
+            raise KeyError(
+                f"module {self.module_id}: no object at local address {addr}"
+            )
+        self.heap[addr] = obj
+
+    def free(self, addr: int) -> None:
+        self.heap.pop(addr, None)
+
+    # ------------------------------------------------------------------
+    # work metering
+    # ------------------------------------------------------------------
+    def tick(self, n: int = 1) -> None:
+        """Meter ``n`` units of PIM processor work."""
+        self.work += n
+
+    def memory_words(self, sizer: Optional[Callable[[Any], int]] = None) -> int:
+        """Approximate local memory footprint in words."""
+        if sizer is None:
+            from .system import default_word_cost
+
+            sizer = default_word_cost
+        return sum(sizer(v) for v in self.heap.values()) + sum(
+            sizer(v) for v in self.scratch.values()
+        )
+
+
+class PIMModule:
+    """A PIM module: wraps a context and the host-visible send/recv state."""
+
+    __slots__ = ("context", "inbox", "outbox")
+
+    def __init__(self, module_id: int):
+        self.context = ModuleContext(module_id)
+        self.inbox: list[Any] = []
+        self.outbox: list[Any] = []
+
+    @property
+    def module_id(self) -> int:
+        return self.context.module_id

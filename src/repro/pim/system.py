@@ -1,0 +1,197 @@
+"""The PIM Model executable simulator (paper §2).
+
+A :class:`PIMSystem` consists of ``P`` :class:`PIMModule`s and a host
+CPU.  Programs run in BSP-like synchronous rounds: in one round the host
+
+1. performs local computation,
+2. writes a buffer of data to each module's local memory,
+3. launches a PIM kernel on each module and waits for completion,
+4. reads a buffer of data from each module's local memory.
+
+:meth:`PIMSystem.round` executes exactly one such round: it takes a list
+of per-module request batches and a kernel, runs the kernel on every
+module that received requests (sequentially in the simulation but
+logically in parallel), and returns per-module reply batches.  Word
+costs of requests and replies are measured by ``word_cost`` and recorded
+in the metrics collector, which tracks IO rounds, IO time (max per-module
+words per round), total communication, and PIM time (max kernel work per
+round) — the quantities bounded by the paper's theorems.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping, Optional, Sequence
+
+import numpy as np
+
+from .metrics import MetricsCollector, MetricsSnapshot
+from .module import ModuleContext, PIMModule
+
+__all__ = ["PIMSystem", "default_word_cost"]
+
+Kernel = Callable[[ModuleContext, list], list]
+
+
+def default_word_cost(obj: Any) -> int:
+    """Cost, in machine words, of shipping ``obj`` between CPU and PIM.
+
+    Mirrors the paper's accounting: an l-bit string costs ceil(l/w)
+    words (at least 1 for non-payload framing), a hash value or scalar
+    costs 1 word, and containers cost the sum of their elements.
+    Objects may declare their own cost via a ``word_cost()`` method.
+    """
+    if obj is None or isinstance(obj, (bool, int, float)):
+        return 1
+    cost_fn = getattr(obj, "word_cost", None)
+    if cost_fn is not None:
+        return int(cost_fn())
+    if isinstance(obj, str):
+        return max(1, -(-len(obj) * 8 // 64))
+    if isinstance(obj, bytes):
+        return max(1, -(-len(obj) // 8))
+    if isinstance(obj, np.ndarray):
+        return max(1, -(-obj.nbytes // 8))
+    if isinstance(obj, Mapping):
+        return sum(
+            default_word_cost(k) + default_word_cost(v) for k, v in obj.items()
+        ) or 1
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        return sum(default_word_cost(x) for x in obj) or 1
+    # dataclass-ish fallback: sum of public attribute costs
+    d = getattr(obj, "__dict__", None)
+    if d is None and hasattr(obj, "__slots__"):
+        d = {s: getattr(obj, s) for s in obj.__slots__ if hasattr(obj, s)}
+    if d:
+        return sum(default_word_cost(v) for v in d.values()) or 1
+    return 1
+
+
+class PIMSystem:
+    """``P`` PIM modules plus a host CPU, with PIM Model cost accounting.
+
+    Parameters
+    ----------
+    num_modules:
+        ``P`` in the paper.
+    seed:
+        Seed for the system RNG used for random block placement.
+    word_cost:
+        Override for the message word-cost function.
+    keep_round_log:
+        Retain a per-round :class:`RoundRecord` log (benchmarks use it).
+    """
+
+    def __init__(
+        self,
+        num_modules: int,
+        *,
+        seed: int = 0,
+        word_cost: Callable[[Any], int] = default_word_cost,
+        keep_round_log: bool = False,
+    ):
+        if num_modules < 1:
+            raise ValueError("a PIM system needs at least one module")
+        self.num_modules = num_modules
+        self.modules = [PIMModule(m) for m in range(num_modules)]
+        self.metrics = MetricsCollector(num_modules, keep_round_log=keep_round_log)
+        self.word_cost = word_cost
+        self.rng = np.random.default_rng(seed)
+        self._kernels: dict[str, Kernel] = {}
+
+    # ------------------------------------------------------------------
+    # kernel registry ("the host CPU can load programs to PIM modules")
+    # ------------------------------------------------------------------
+    def register_kernel(self, name: str, fn: Kernel) -> None:
+        if name in self._kernels and self._kernels[name] is not fn:
+            raise ValueError(f"kernel {name!r} already registered")
+        self._kernels[name] = fn
+
+    def kernel(self, name: str) -> Callable[[Kernel], Kernel]:
+        """Decorator form of :meth:`register_kernel`."""
+
+        def deco(fn: Kernel) -> Kernel:
+            self.register_kernel(name, fn)
+            return fn
+
+        return deco
+
+    # ------------------------------------------------------------------
+    # the BSP round
+    # ------------------------------------------------------------------
+    def round(
+        self,
+        kernel: str | Kernel,
+        requests: Mapping[int, list] | Sequence[list],
+        *,
+        free_output: bool = True,
+    ) -> dict[int, list]:
+        """Execute one synchronous round.
+
+        ``requests`` maps module id -> list of request messages (a
+        sequence is treated as dense per-module lists).  The kernel runs
+        once on every module with a non-empty request list and returns a
+        list of reply messages.  Returns module id -> replies.
+        """
+        if callable(kernel):
+            fn = kernel
+        else:
+            try:
+                fn = self._kernels[kernel]
+            except KeyError:
+                raise KeyError(f"no kernel registered under {kernel!r}") from None
+
+        if not isinstance(requests, Mapping):
+            requests = {m: reqs for m, reqs in enumerate(requests)}
+
+        words_to = [0] * self.num_modules
+        words_from = [0] * self.num_modules
+        kernel_work = [0] * self.num_modules
+        replies: dict[int, list] = {}
+
+        for mid, reqs in requests.items():
+            if not 0 <= mid < self.num_modules:
+                raise IndexError(f"module id {mid} out of range")
+            if not reqs:
+                continue
+            words_to[mid] += sum(self.word_cost(r) for r in reqs)
+            ctx = self.modules[mid].context
+            work_before = ctx.work
+            out = fn(ctx, list(reqs))
+            if out is None:
+                out = []
+            kernel_work[mid] = ctx.work - work_before
+            words_from[mid] += sum(self.word_cost(r) for r in out)
+            replies[mid] = out
+
+        self.metrics.record_round(words_to, words_from, kernel_work)
+        return replies
+
+    def broadcast(self, kernel: str | Kernel, request: Any) -> dict[int, list]:
+        """Run a kernel with the same single request on every module."""
+        return self.round(kernel, {m: [request] for m in range(self.num_modules)})
+
+    # ------------------------------------------------------------------
+    # placement and bookkeeping helpers
+    # ------------------------------------------------------------------
+    def random_module(self) -> int:
+        """Uniformly random module id (block placement, §4.2)."""
+        return int(self.rng.integers(self.num_modules))
+
+    def random_modules(self, k: int) -> np.ndarray:
+        return self.rng.integers(self.num_modules, size=k)
+
+    def tick_cpu(self, n: int = 1) -> None:
+        self.metrics.tick_cpu(n)
+
+    def snapshot(self) -> MetricsSnapshot:
+        return self.metrics.snapshot()
+
+    def memory_words(self) -> list[int]:
+        """Per-module local memory footprint in words (space experiments)."""
+        return [m.context.memory_words(self.word_cost) for m in self.modules]
+
+    def total_memory_words(self) -> int:
+        return sum(self.memory_words())
+
+    def __repr__(self) -> str:
+        return f"PIMSystem(P={self.num_modules}, rounds={self.metrics.io_rounds})"

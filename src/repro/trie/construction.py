@@ -1,0 +1,166 @@
+"""Batch query-trie construction (paper §4.1, Algorithm 1).
+
+``QTrieConstruct`` builds the query trie for a batch in three stages:
+
+1. string-sort the batch (here: a most-significant-bit-first radix/
+   comparison hybrid over packed bit-strings);
+2. compute the adjacent-LCP array between neighbouring sorted strings;
+3. generate the Patricia trie from the sorted strings and the LCP array
+   using the Cartesian-tree construction (a right-spine stack build, the
+   sequential realization of [14]).
+
+The sequential build runs in O(n * (1 + k/w)) word operations —
+matching Lemma 4.1's work bound up to the sort's log log n factor that
+only matters on the PRAM.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from ..bits import BitString
+from .nodes import TrieEdge, TrieNode
+from .patricia import PatriciaTrie
+
+__all__ = [
+    "sort_bitstrings",
+    "adjacent_lcp_array",
+    "patricia_from_sorted",
+    "build_query_trie",
+]
+
+
+def sort_bitstrings(strings: Iterable[BitString]) -> list[BitString]:
+    """Sort bit-strings in trie order (prefix sorts before extension).
+
+    Python's sort on (value-aligned key) tuples would not respect the
+    prefix rule directly, so we sort with the BitString comparison
+    operators, which implement exactly that order via word-level LCP.
+    """
+    return sorted(strings)
+
+
+def adjacent_lcp_array(sorted_strings: Sequence[BitString]) -> list[int]:
+    """lcp[i] = LCP length of sorted_strings[i-1] and sorted_strings[i].
+
+    lcp[0] is defined as 0.  O(sum l_i / w) word operations.
+    """
+    out = [0] * len(sorted_strings)
+    for i in range(1, len(sorted_strings)):
+        out[i] = sorted_strings[i - 1].lcp_len(sorted_strings[i])
+    return out
+
+
+def patricia_from_sorted(
+    sorted_strings: Sequence[BitString],
+    lcp: Sequence[int],
+    values: Sequence[Any] | None = None,
+) -> PatriciaTrie:
+    """Build a Patricia trie from sorted distinct strings + adjacent LCPs.
+
+    Uses the right-spine stack construction: the rightmost root-to-leaf
+    path is kept on a stack of (node, depth); each new string branches
+    off at depth lcp[i], possibly splitting the top edge.  O(n) stack
+    operations plus O(sum l/w) label slicing.
+    """
+    trie = PatriciaTrie()
+    if not sorted_strings:
+        return trie
+    n = len(sorted_strings)
+    if values is None:
+        values = [None] * n
+    if len(lcp) != n or len(values) != n:
+        raise ValueError("sorted_strings, lcp, values must align")
+
+    # stack of nodes on the rightmost path (root first)
+    spine: list[TrieNode] = [trie.root]
+
+    def attach_leaf(parent: TrieNode, s: BitString, v: Any) -> TrieNode:
+        if parent.depth == len(s):
+            # duplicate or prefix-equal: mark the node itself
+            if not parent.is_key:
+                parent.is_key = True
+                parent.value = v
+                trie.num_keys += 1
+            return parent
+        leaf = TrieNode(len(s), is_key=True, value=v)
+        edge = TrieEdge(s.suffix_from(parent.depth), leaf)
+        parent.attach(edge)
+        trie.edge_bits += len(edge.label)
+        trie.num_keys += 1
+        return leaf
+
+    prev = attach_leaf(trie.root, sorted_strings[0], values[0])
+    if prev is not trie.root:
+        spine.append(prev)
+
+    for i in range(1, n):
+        s, d, v = sorted_strings[i], lcp[i], values[i]
+        if (
+            len(sorted_strings[i - 1]) == len(s)
+            and d == len(s)
+        ):
+            continue  # duplicate key: first value wins (paper: batch dedup)
+        # pop spine until the top node's depth <= d
+        while spine[-1].depth > d:
+            spine.pop()
+        top = spine[-1]
+        if top.depth == d:
+            node = attach_leaf(top, s, v)
+            if node is not top:
+                spine.append(node)
+            continue
+        # branch point lies inside the edge from `top` toward the
+        # previously attached subtree: split that edge at depth d.
+        # That edge is top's rightmost (greatest-bit) present child on
+        # the current spine path; since we popped to top.depth < d, the
+        # edge to split is the one leading to the old spine child.
+        child_edge = None
+        for b in (1, 0):
+            e = top.children[b]
+            if e is not None and top.depth + len(e.label) >= d:
+                # the spine edge is the lexicographically largest path;
+                # prefer bit 1 then bit 0 — but it must lie on the path
+                # to the previous string.
+                child_edge = e
+                if sorted_strings[i - 1].bit(top.depth) == b:
+                    break
+        assert child_edge is not None, "spine edge not found"
+        # split at offset d - top.depth
+        mid = trie._split_edge(child_edge, d - top.depth)
+        spine.append(mid)
+        node = attach_leaf(mid, s, v)
+        if node is not mid:
+            spine.append(node)
+    return trie
+
+
+def build_query_trie(
+    batch: Sequence[BitString],
+    values: Sequence[Any] | None = None,
+) -> PatriciaTrie:
+    """Algorithm 1 (QTrieConstruct): sort, LCP array, Patricia generate.
+
+    Duplicate keys in the batch are collapsed (first value wins), as the
+    query trie has one node per distinct key.
+    """
+    if values is None:
+        order = sorted(range(len(batch)), key=lambda i: batch[i])
+        ss = [batch[i] for i in order]
+        vv = [None] * len(ss)
+    else:
+        if len(values) != len(batch):
+            raise ValueError("values must align with batch")
+        order = sorted(range(len(batch)), key=lambda i: batch[i])
+        ss = [batch[i] for i in order]
+        vv = [values[i] for i in order]
+    # drop exact duplicates (keep first occurrence in sorted order)
+    dedup_s: list[BitString] = []
+    dedup_v: list[Any] = []
+    for s, v in zip(ss, vv):
+        if dedup_s and dedup_s[-1] == s:
+            continue
+        dedup_s.append(s)
+        dedup_v.append(v)
+    lcp = adjacent_lcp_array(dedup_s)
+    return patricia_from_sorted(dedup_s, lcp, dedup_v)

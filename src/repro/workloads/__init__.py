@@ -1,0 +1,21 @@
+"""Seeded workload generators (uniform, skewed, adversarial)."""
+
+from .generators import (
+    ip_prefixes,
+    shared_prefix_flood,
+    single_range_flood,
+    text_keys,
+    uniform_keys,
+    uniform_variable_keys,
+    zipf_prefix,
+)
+
+__all__ = [
+    "ip_prefixes",
+    "shared_prefix_flood",
+    "single_range_flood",
+    "text_keys",
+    "uniform_keys",
+    "uniform_variable_keys",
+    "zipf_prefix",
+]

@@ -1,0 +1,156 @@
+"""Workload generators for every experiment (DESIGN.md, system S20).
+
+All generators are seeded and return lists of :class:`BitString`.  The
+adversarial generators realize the worst cases the paper's theorems
+defend against:
+
+* ``shared_prefix_flood`` — every key extends one long common prefix,
+  so a naive tree concentrates the whole batch on the path to one
+  subtree (worst-case *data and query* skew, §1 challenge C1/C2);
+* ``zipf_prefix`` — queries pick prefixes with a Zipf distribution, the
+  classic skew model for range-partitioned indexes (§3.2);
+* ``single_range_flood`` — the §3.2 killer: the entire batch targets
+  one key range / one PIM module.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..bits import BitString
+
+__all__ = [
+    "uniform_keys",
+    "uniform_variable_keys",
+    "shared_prefix_flood",
+    "zipf_prefix",
+    "single_range_flood",
+    "ip_prefixes",
+    "text_keys",
+]
+
+
+def uniform_keys(n: int, length: int, seed: int = 0) -> list[BitString]:
+    """``n`` uniformly random fixed-length keys (may repeat)."""
+    rng = np.random.default_rng(seed)
+    out = []
+    for _ in range(n):
+        v = int.from_bytes(rng.bytes((length + 7) // 8), "big")
+        out.append(BitString(v & ((1 << length) - 1), length))
+    return out
+
+
+def uniform_variable_keys(
+    n: int, min_len: int, max_len: int, seed: int = 0
+) -> list[BitString]:
+    """Uniform keys with lengths uniform in [min_len, max_len]."""
+    rng = np.random.default_rng(seed)
+    out = []
+    for _ in range(n):
+        length = int(rng.integers(min_len, max_len + 1))
+        if length == 0:
+            out.append(BitString(0, 0))
+            continue
+        v = int.from_bytes(rng.bytes((length + 7) // 8), "big")
+        out.append(BitString(v & ((1 << length) - 1), length))
+    return out
+
+
+def shared_prefix_flood(
+    n: int,
+    prefix_len: int,
+    suffix_len: int,
+    seed: int = 0,
+    prefix_bit: int = 1,
+) -> list[BitString]:
+    """Adversarial skew: all keys share one ``prefix_len``-bit prefix.
+
+    The shared prefix is a repeating pattern (not all-zeros, so path
+    compression cannot trivialize it across unrelated keys).
+    """
+    rng = np.random.default_rng(seed)
+    pattern = "10" if prefix_bit else "01"
+    prefix = BitString.from_str((pattern * prefix_len)[:prefix_len])
+    out = []
+    for _ in range(n):
+        v = int.from_bytes(rng.bytes((suffix_len + 7) // 8), "big")
+        out.append(prefix + BitString(v & ((1 << suffix_len) - 1), suffix_len))
+    return out
+
+
+def zipf_prefix(
+    n: int,
+    length: int,
+    num_hot: int = 16,
+    theta: float = 1.2,
+    seed: int = 0,
+) -> list[BitString]:
+    """Zipf-skewed keys: a Zipf(θ) choice among ``num_hot`` hot prefixes
+    (half the key) followed by random low bits."""
+    rng = np.random.default_rng(seed)
+    half = length // 2
+    hots = uniform_keys(num_hot, half, seed=seed + 1)
+    ranks = np.arange(1, num_hot + 1, dtype=np.float64)
+    probs = ranks ** (-theta)
+    probs /= probs.sum()
+    out = []
+    for _ in range(n):
+        hot = hots[int(rng.choice(num_hot, p=probs))]
+        v = int.from_bytes(rng.bytes((length - half + 7) // 8), "big")
+        out.append(hot + BitString(v & ((1 << (length - half)) - 1), length - half))
+    return out
+
+
+def single_range_flood(
+    n: int, length: int, seed: int = 0
+) -> list[BitString]:
+    """§3.2's worst case: the whole batch falls into one tiny key range.
+
+    Half the bits are a fixed shared prefix (capped at 64), so the keys
+    stay distinct while the batch still lands in a single partition of
+    any range-partitioned index.
+    """
+    fixed = min(length // 2, 64)
+    return shared_prefix_flood(n, fixed, length - fixed, seed=seed)
+
+
+def ip_prefixes(n: int, seed: int = 0) -> list[BitString]:
+    """Synthetic IPv4 routing prefixes: /8-/28 CIDR blocks clustered the
+    way routing tables cluster (many /24s, a spread of shorter blocks).
+
+    This is the variable-length workload the introduction motivates
+    (radix trees in IP routing).
+    """
+    rng = np.random.default_rng(seed)
+    lengths = rng.choice(
+        [8, 12, 16, 20, 22, 24, 26, 28],
+        p=[0.02, 0.04, 0.14, 0.15, 0.15, 0.40, 0.07, 0.03],
+        size=n,
+    )
+    out = []
+    for plen in lengths:
+        plen = int(plen)
+        addr = int(rng.integers(0, 1 << 32))
+        out.append(BitString(addr >> (32 - plen), plen))
+    return out
+
+
+def text_keys(n: int, seed: int = 0, words: Optional[Sequence[str]] = None) -> list[BitString]:
+    """Variable-length text keys (synthetic URL-path-like strings)."""
+    rng = np.random.default_rng(seed)
+    if words is None:
+        words = [
+            "api", "v1", "v2", "users", "items", "orders", "search",
+            "static", "img", "css", "js", "index", "detail", "edit",
+            "a", "b", "c", "data", "report", "x",
+        ]
+    out = []
+    for _ in range(n):
+        depth = int(rng.integers(1, 6))
+        path = "/" + "/".join(
+            words[int(rng.integers(len(words)))] for _ in range(depth)
+        )
+        out.append(BitString.from_text(path))
+    return out

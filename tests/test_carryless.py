@@ -1,0 +1,158 @@
+"""Tests for the CRC-style carryless hasher (GF(2) polynomial hash)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bits import (
+    BitString,
+    CarrylessHasher,
+    GF2_POLY_61,
+    IncrementalHasher,
+)
+from repro.bits.carryless import _gf2_mulmod
+
+
+def bs(s: str) -> BitString:
+    return BitString.from_str(s)
+
+
+bit_strings = st.text(alphabet="01", min_size=0, max_size=300).map(bs)
+
+C = CarrylessHasher(seed=42)
+
+
+class TestGF2Arithmetic:
+    def test_mul_identity(self):
+        for a in (0, 1, 5, (1 << 60) | 3):
+            assert _gf2_mulmod(a, 1, GF2_POLY_61, 61) == a
+
+    def test_mul_zero(self):
+        assert _gf2_mulmod(123, 0, GF2_POLY_61, 61) == 0
+
+    def test_mul_commutative(self):
+        a, b = 0x1234_5678_9ABC, 0xDEAD_BEEF
+        assert _gf2_mulmod(a, b, GF2_POLY_61, 61) == _gf2_mulmod(
+            b, a, GF2_POLY_61, 61
+        )
+
+    @given(
+        st.integers(0, (1 << 61) - 1),
+        st.integers(0, (1 << 61) - 1),
+        st.integers(0, (1 << 61) - 1),
+    )
+    @settings(max_examples=60)
+    def test_mul_distributes_over_xor(self, a, b, c):
+        left = _gf2_mulmod(a, b ^ c, GF2_POLY_61, 61)
+        right = _gf2_mulmod(a, b, GF2_POLY_61, 61) ^ _gf2_mulmod(
+            a, c, GF2_POLY_61, 61
+        )
+        assert left == right
+
+    def test_residues_stay_in_range(self):
+        r = _gf2_mulmod((1 << 61) - 1, (1 << 61) - 1, GF2_POLY_61, 61)
+        assert 0 <= r < (1 << 61)
+
+
+class TestIncrementality:
+    def test_empty(self):
+        assert C.hash(bs("")).digest == 0
+        assert C.empty() == C.hash(bs(""))
+
+    @given(bit_strings, bit_strings)
+    def test_extend_matches_full(self, a, b):
+        """Definition 2 for the CRC hash."""
+        assert C.extend(C.hash(a), b) == C.hash(a + b)
+
+    @given(bit_strings, bit_strings)
+    def test_combine_matches_full(self, a, b):
+        """Definition 3: crc(AB) = crc(A)*x^|B| XOR crc(B)."""
+        assert C.combine(C.hash(a), C.hash(b)) == C.hash(a + b)
+
+    @given(bit_strings, bit_strings, bit_strings)
+    def test_combine_associative(self, a, b, c):
+        ha, hb, hc = C.hash(a), C.hash(b), C.hash(c)
+        assert C.combine(C.combine(ha, hb), hc) == C.combine(
+            ha, C.combine(hb, hc)
+        )
+
+    @given(bit_strings)
+    def test_prefix_hashes(self, s):
+        positions = sorted({0, len(s) // 3, 2 * len(s) // 3, len(s)})
+        for p, h in zip(positions, C.prefix_hashes(s, positions)):
+            assert h == C.hash(s.prefix(p))
+
+    def test_long_string_chunking(self):
+        s = bs("101" * 200)  # 600 bits, many chunks
+        assert C.hash(s).length == 600
+        # consistency across arbitrary split points
+        for cut in (1, 60, 61, 62, 300, 599):
+            assert C.combine(C.hash(s.prefix(cut)), C.hash(s.suffix_from(cut))) == C.hash(s)
+
+
+class TestFingerprints:
+    def test_seeds_differ(self):
+        other = CarrylessHasher(seed=43)
+        s = bs("1011010")
+        assert C.fingerprint_of(s) != other.fingerprint_of(s)
+
+    def test_lengths_disambiguated(self):
+        assert C.fingerprint_of(bs("01")) != C.fingerprint_of(bs("1"))
+        fps = {C.fingerprint_of(BitString(0, n)) for n in range(100)}
+        assert len(fps) == 100
+
+    def test_no_collisions_small_universe(self):
+        seen = set()
+        for v in range(1 << 12):
+            fp = C.fingerprint_of(BitString.from_int(v, 12))
+            assert fp not in seen
+            seen.add(fp)
+
+    def test_narrow_width_collides(self):
+        h4 = CarrylessHasher(seed=7, width=4)
+        fps = {h4.fingerprint_of(BitString.from_int(v, 16)) for v in range(2048)}
+        assert len(fps) <= 16
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            CarrylessHasher(width=0)
+        with pytest.raises(ValueError):
+            CarrylessHasher(width=62)
+
+
+class TestInterchangeability:
+    def test_same_interface_as_modular(self):
+        """Both hashers expose the exact surface PIM-trie consumes."""
+        m = IncrementalHasher(seed=1)
+        for h in (m, CarrylessHasher(seed=1)):
+            s = bs("110010")
+            hv = h.hash(s)
+            assert h.extend(h.empty(), s) == hv
+            assert isinstance(h.fingerprint(hv), int)
+            assert h.prefix_hashes(s, [0, 3, 6])[2] == hv
+
+    def test_pimtrie_runs_on_carryless(self):
+        """PIMTrieConfig(hash_kind='carryless') works end-to-end."""
+        from repro import PIMSystem, PIMTrie, PIMTrieConfig
+        from repro.trie import PatriciaTrie
+
+        keys = [bs(format(i, "08b")) for i in range(48)]
+        system = PIMSystem(4, seed=2)
+        trie = PIMTrie(
+            system,
+            PIMTrieConfig(num_modules=4, hash_kind="carryless"),
+            keys=keys,
+            values=[k.to_str() for k in keys],
+        )
+        assert isinstance(trie.hasher, CarrylessHasher)
+        ref = PatriciaTrie()
+        for k in keys:
+            ref.insert(k)
+        qs = keys[::5] + [bs("11111111"), bs("0011")]
+        assert trie.lcp_batch(qs) == [ref.lcp(q) for q in qs]
+        trie.insert_batch([bs("111100001111")], ["x"])
+        assert trie.lookup_batch([bs("111100001111")]) == ["x"]
+
+    def test_bad_hash_kind_rejected(self):
+        from repro import PIMTrieConfig
+        with pytest.raises(ValueError):
+            PIMTrieConfig(num_modules=4, hash_kind="md5")

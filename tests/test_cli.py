@@ -1,0 +1,37 @@
+"""Tests for the command-line experiment runner."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCLI:
+    def test_demo(self, capsys):
+        assert main(["demo", "--p", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out
+        assert "LCP('101001') = 5" in out
+        assert "hidden nodes" in out
+
+    def test_scaling(self, capsys):
+        assert main(["scaling"]) == 0
+        out = capsys.readouterr().out
+        assert "P=  4" in out
+        assert "best fit" in out
+        # O(log P): the reported best law must not be linear
+        assert "best fit: linear" not in out
+
+    def test_skew(self, capsys):
+        assert main(["skew", "--p", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "pim-trie" in out
+        assert "range-partition" in out
+        assert "flood" in out
+
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["nonsense"])

@@ -1,0 +1,120 @@
+"""Tests for batch query-trie construction (Algorithm 1)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.bits import BitString
+from repro.trie import (
+    PatriciaTrie,
+    adjacent_lcp_array,
+    build_query_trie,
+    patricia_from_sorted,
+    sort_bitstrings,
+)
+
+
+def bs(s: str) -> BitString:
+    return BitString.from_str(s)
+
+
+key_lists = st.lists(
+    st.text(alphabet="01", min_size=0, max_size=40), min_size=0, max_size=80
+)
+
+
+class TestSort:
+    def test_sort_order(self):
+        xs = [bs(s) for s in ["10", "1", "0", "101", "100", ""]]
+        assert [x.to_str() for x in sort_bitstrings(xs)] == [
+            "",
+            "0",
+            "1",
+            "10",
+            "100",
+            "101",
+        ]
+
+    @given(key_lists)
+    def test_sort_matches_builtin(self, keys):
+        xs = [bs(k) for k in keys]
+        assert sort_bitstrings(xs) == sorted(xs)
+
+
+class TestLCPArray:
+    def test_basic(self):
+        xs = [bs(s) for s in ["000", "001", "01", "1"]]
+        assert adjacent_lcp_array(xs) == [0, 2, 1, 0]
+
+    def test_empty_and_single(self):
+        assert adjacent_lcp_array([]) == []
+        assert adjacent_lcp_array([bs("101")]) == [0]
+
+
+class TestPatriciaFromSorted:
+    def test_matches_incremental_build(self):
+        keys = ["000010", "00001101", "1010000", "1010111", "101011"]
+        xs = sorted(bs(k) for k in keys)
+        lcp = adjacent_lcp_array(xs)
+        t = patricia_from_sorted(xs, lcp, list(range(len(xs))))
+        t.check_invariants()
+        ref = PatriciaTrie()
+        for k in keys:
+            ref.insert(bs(k))
+        assert sorted(k.to_str() for k in t.keys()) == sorted(
+            k.to_str() for k in ref.keys()
+        )
+
+    def test_prefix_key_marks_internal_node(self):
+        xs = sorted(bs(k) for k in ["10", "100", "101"])
+        t = patricia_from_sorted(xs, adjacent_lcp_array(xs))
+        t.check_invariants()
+        assert t.contains(bs("10"))
+        assert len(t) == 3
+
+    def test_empty_string_key(self):
+        xs = sorted(bs(k) for k in ["", "0", "1"])
+        t = patricia_from_sorted(xs, adjacent_lcp_array(xs))
+        t.check_invariants()
+        assert t.contains(bs(""))
+        assert len(t) == 3
+
+
+class TestBuildQueryTrie:
+    def test_deduplication(self):
+        t = build_query_trie([bs("10"), bs("10"), bs("11")])
+        assert len(t) == 2
+
+    def test_values_follow_keys(self):
+        t = build_query_trie([bs("10"), bs("01")], values=["a", "b"])
+        assert t.lookup(bs("10")) == "a"
+        assert t.lookup(bs("01")) == "b"
+
+    def test_empty_batch(self):
+        t = build_query_trie([])
+        assert len(t) == 0
+
+    @given(key_lists)
+    @settings(max_examples=200)
+    def test_equivalent_to_incremental(self, keys):
+        """Algorithm 1 must produce the same trie as one-by-one insertion."""
+        xs = [bs(k) for k in keys]
+        t = build_query_trie(xs)
+        t.check_invariants()
+        ref = PatriciaTrie()
+        for x in xs:
+            ref.insert(x)
+        assert sorted(k.to_str() for k in t.keys()) == sorted(
+            k.to_str() for k in ref.keys()
+        )
+        # identical shape: same number of compressed nodes and edge bits
+        assert t.num_nodes() == ref.num_nodes()
+        assert t.L == ref.L
+
+    @given(key_lists, st.text(alphabet="01", max_size=40))
+    @settings(max_examples=100)
+    def test_query_semantics_preserved(self, keys, q):
+        xs = [bs(k) for k in keys]
+        t = build_query_trie(xs)
+        ref = PatriciaTrie()
+        for x in xs:
+            ref.insert(x)
+        assert t.lcp(bs(q)) == ref.lcp(bs(q))

@@ -1,0 +1,36 @@
+"""Smoke tests: every example script must run cleanly end to end."""
+
+import runpy
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).resolve().parent.parent / "examples").glob("*.py")
+)
+
+
+def test_examples_exist():
+    names = {p.stem for p in EXAMPLES}
+    assert {"quickstart", "ip_routing", "kv_store_skew", "url_index"} <= names
+    assert len(EXAMPLES) >= 4
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script, capsys):
+    """Run each example in-process (fast) and check it prints output."""
+    runpy.run_path(str(script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert len(out) > 100
+
+
+def test_quickstart_output_content(capsys):
+    runpy.run_path(
+        str(next(p for p in EXAMPLES if p.stem == "quickstart")),
+        run_name="__main__",
+    )
+    out = capsys.readouterr().out
+    assert "LCP('101001') = 5" in out
+    assert "session totals" in out

@@ -1,0 +1,205 @@
+"""Tests for the treap sequence and Euler-tour-tree dynamic forest."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.forest import EulerTourForest, TreapSequence
+
+
+class TestTreapSequence:
+    def test_merge_iterate(self):
+        seq = TreapSequence(seed=1)
+        nodes = [seq.make(i) for i in range(10)]
+        root = None
+        for n in nodes:
+            root = seq.merge(root, n)
+        assert [n.value for n in seq.iterate(root)] == list(range(10))
+        assert seq.size(root) == 10
+
+    def test_split(self):
+        seq = TreapSequence(seed=2)
+        root = None
+        for i in range(10):
+            root = seq.merge(root, seq.make(i))
+        left, right = seq.split(root, 4)
+        assert [n.value for n in seq.iterate(left)] == [0, 1, 2, 3]
+        assert [n.value for n in seq.iterate(right)] == [4, 5, 6, 7, 8, 9]
+
+    def test_split_edges(self):
+        seq = TreapSequence(seed=3)
+        root = None
+        for i in range(5):
+            root = seq.merge(root, seq.make(i))
+        l, r = seq.split(root, 0)
+        assert seq.size(l) == 0 and seq.size(r) == 5
+        root = seq.merge(l, r)
+        l, r = seq.split(root, 5)
+        assert seq.size(l) == 5 and seq.size(r) == 0
+
+    def test_index_and_split_at_node(self):
+        seq = TreapSequence(seed=4)
+        nodes = [seq.make(i) for i in range(20)]
+        root = None
+        for n in nodes:
+            root = seq.merge(root, n)
+        for i, n in enumerate(nodes):
+            assert n.index() == i
+        l, r = seq.split_at_node(nodes[7])
+        assert [n.value for n in seq.iterate(l)] == list(range(7))
+        assert [n.value for n in seq.iterate(r)] == list(range(7, 20))
+
+    def test_first_last(self):
+        seq = TreapSequence(seed=5)
+        root = None
+        for i in range(8):
+            root = seq.merge(root, seq.make(i))
+        assert seq.first(root).value == 0
+        assert seq.last(root).value == 7
+
+    @given(st.lists(st.integers(0, 30), min_size=1, max_size=40), st.integers(0, 1000))
+    @settings(max_examples=100)
+    def test_split_merge_roundtrip(self, values, seed):
+        seq = TreapSequence(seed=seed)
+        root = None
+        for v in values:
+            root = seq.merge(root, seq.make(v))
+        k = seed % (len(values) + 1)
+        l, r = seq.split(root, k)
+        assert [n.value for n in seq.iterate(l)] == values[:k]
+        assert [n.value for n in seq.iterate(r)] == values[k:]
+        root = seq.merge(l, r)
+        assert [n.value for n in seq.iterate(root)] == values
+
+
+class OracleForest:
+    """Brute-force rooted forest used to validate the Euler-tour tree."""
+
+    def __init__(self):
+        self.parent = {}
+
+    def add_vertex(self, v):
+        self.parent[v] = None
+
+    def link(self, c, p):
+        self.parent[c] = p
+
+    def cut(self, c):
+        self.parent[c] = None
+
+    def root_of(self, v):
+        while self.parent[v] is not None:
+            v = self.parent[v]
+        return v
+
+    def subtree(self, v):
+        out = []
+        for u in self.parent:
+            w = u
+            while w is not None:
+                if w == v:
+                    out.append(u)
+                    break
+                w = self.parent[w]
+        return sorted(out)
+
+
+class TestEulerTourForest:
+    def test_single_vertex(self):
+        f = EulerTourForest()
+        f.add_vertex("a")
+        assert f.root_of("a") == "a"
+        assert f.subtree_size("a") == 1
+        assert f.tree_size("a") == 1
+
+    def test_duplicate_vertex_rejected(self):
+        f = EulerTourForest()
+        f.add_vertex(1)
+        with pytest.raises(ValueError):
+            f.add_vertex(1)
+
+    def test_link_cut_basic(self):
+        f = EulerTourForest()
+        for v in "abcd":
+            f.add_vertex(v)
+        f.link("b", "a")
+        f.link("c", "a")
+        f.link("d", "b")
+        assert f.root_of("d") == "a"
+        assert f.subtree_size("a") == 4
+        assert f.subtree_size("b") == 2
+        assert sorted(f.subtree_vertices("b")) == ["b", "d"]
+        f.cut("b")
+        assert f.root_of("d") == "b"
+        assert f.root_of("c") == "a"
+        assert f.subtree_size("a") == 2
+        assert not f.connected("a", "b")
+
+    def test_link_nonroot_rejected(self):
+        f = EulerTourForest()
+        for v in "abc":
+            f.add_vertex(v)
+        f.link("b", "a")
+        with pytest.raises(ValueError):
+            f.link("b", "c")
+
+    def test_cycle_rejected(self):
+        f = EulerTourForest()
+        for v in "ab":
+            f.add_vertex(v)
+        f.link("b", "a")
+        with pytest.raises(ValueError):
+            f.link("a", "b")
+
+    def test_cut_root_rejected(self):
+        f = EulerTourForest()
+        f.add_vertex("a")
+        with pytest.raises(ValueError):
+            f.cut("a")
+
+    def test_deep_chain(self):
+        f = EulerTourForest()
+        n = 200
+        for i in range(n):
+            f.add_vertex(i)
+        for i in range(1, n):
+            f.link(i, i - 1)
+        assert f.root_of(n - 1) == 0
+        assert f.subtree_size(0) == n
+        assert f.subtree_size(n // 2) == n - n // 2
+        f.cut(n // 2)
+        assert f.root_of(n - 1) == n // 2
+        assert f.subtree_size(0) == n // 2
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_random_ops_match_oracle(self, seed):
+        rng = random.Random(seed)
+        f = EulerTourForest(seed=seed)
+        o = OracleForest()
+        n = 30
+        for v in range(n):
+            f.add_vertex(v)
+            o.add_vertex(v)
+        for _ in range(80):
+            op = rng.random()
+            v = rng.randrange(n)
+            if op < 0.5:
+                # try to link v (if root) under a random non-descendant
+                if o.parent[v] is None:
+                    u = rng.randrange(n)
+                    if o.root_of(u) != v:
+                        f.link(v, u)
+                        o.link(v, u)
+            elif op < 0.8:
+                if o.parent[v] is not None:
+                    f.cut(v)
+                    o.cut(v)
+            else:
+                assert f.root_of(v) == o.root_of(v)
+                assert sorted(f.subtree_vertices(v)) == o.subtree(v)
+                assert f.subtree_size(v) == len(o.subtree(v))
+        for v in range(n):
+            assert f.root_of(v) == o.root_of(v)
+            assert f.subtree_size(v) == len(o.subtree(v))

@@ -1,0 +1,127 @@
+"""Tests for the incremental rolling hash (paper Defs. 2-3, §4.4)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.bits import BitString, IncrementalHasher, MERSENNE_61
+
+
+def bs(s: str) -> BitString:
+    return BitString.from_str(s)
+
+
+bit_strings = st.text(alphabet="01", min_size=0, max_size=400).map(bs)
+
+H = IncrementalHasher(seed=42)
+
+
+class TestBasics:
+    def test_empty_hash(self):
+        assert H.hash(bs("")).digest == 0
+        assert H.hash(bs("")).length == 0
+        assert H.empty() == H.hash(bs(""))
+
+    def test_deterministic(self):
+        assert H.hash(bs("10101")) == H.hash(bs("10101"))
+
+    def test_length_recorded(self):
+        assert H.hash(bs("110")).length == 3
+
+    def test_distinct_seeds_fingerprint_differently(self):
+        """Global re-hash (§4.4.3) = new seed = new comparison keys."""
+        h2 = IncrementalHasher(seed=43)
+        s = bs("1011010")
+        assert H.fingerprint_of(s) != h2.fingerprint_of(s)
+
+    def test_leading_zeros_matter(self):
+        # "01" and "1" are different strings and must fingerprint apart
+        assert H.fingerprint_of(bs("01")) != H.fingerprint_of(bs("1"))
+        assert H.fingerprint_of(bs("0")) != H.fingerprint_of(bs(""))
+        # HashValue keeps them apart via the recorded length
+        assert H.hash(bs("01")) != H.hash(bs("1"))
+
+    def test_width_bounds(self):
+        with pytest.raises(ValueError):
+            IncrementalHasher(width=0)
+        with pytest.raises(ValueError):
+            IncrementalHasher(width=62)
+
+    def test_narrow_width_truncates(self):
+        h8 = IncrementalHasher(seed=42, width=8)
+        assert h8.fingerprint_of(bs("1011010011")) < 256
+
+    def test_long_string_chunking(self):
+        # crosses several 61-bit chunks
+        s = bs("10" * 200)
+        a = H.hash(s)
+        assert 0 <= a.digest < MERSENNE_61
+        assert a.length == 400
+
+
+class TestIncrementality:
+    @given(bit_strings, bit_strings)
+    def test_extend_matches_full_hash(self, a, b):
+        """Definition 2: h(AB) = f(h(A), B)."""
+        assert H.extend(H.hash(a), b) == H.hash(a + b)
+
+    @given(bit_strings, bit_strings)
+    def test_combine_matches_full_hash(self, a, b):
+        """Definition 3: h(AB) = h(A) ⊕ h(B) using lengths only."""
+        assert H.combine(H.hash(a), H.hash(b)) == H.hash(a + b)
+
+    @given(bit_strings, bit_strings, bit_strings)
+    def test_combine_associative(self, a, b, c):
+        ha, hb, hc = H.hash(a), H.hash(b), H.hash(c)
+        assert H.combine(H.combine(ha, hb), hc) == H.combine(
+            ha, H.combine(hb, hc)
+        )
+
+    @given(bit_strings)
+    def test_prefix_hashes_match(self, s):
+        positions = sorted({0, len(s) // 2, len(s)})
+        hs = H.prefix_hashes(s, positions)
+        for p, h in zip(positions, hs):
+            assert h == H.hash(s.prefix(p))
+
+    def test_prefix_hashes_word_grid(self):
+        s = bs("1011" * 40)  # 160 bits
+        positions = list(range(0, 161, 32))
+        hs = H.prefix_hashes(s, positions)
+        assert [h.length for h in hs] == positions
+        for p, h in zip(positions, hs):
+            assert h == H.hash(s.prefix(p))
+
+    def test_prefix_hashes_rejects_disorder(self):
+        with pytest.raises(ValueError):
+            H.prefix_hashes(bs("1010"), [3, 1])
+
+    def test_prefix_hashes_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            H.prefix_hashes(bs("1010"), [5])
+
+
+class TestFingerprints:
+    def test_wide_fingerprint_no_collisions_small_universe(self):
+        seen = set()
+        for v in range(1 << 12):
+            fp = H.fingerprint_of(BitString.from_int(v, 12))
+            assert fp not in seen
+            seen.add(fp)
+
+    def test_narrow_fingerprint_collides(self):
+        """A 4-bit fingerprint over thousands of strings collides (E13)."""
+        h4 = IncrementalHasher(seed=7, width=4)
+        fps = {h4.fingerprint_of(BitString.from_int(v, 16)) for v in range(4096)}
+        assert len(fps) <= 16
+
+    def test_fingerprint_deterministic(self):
+        assert H.fingerprint_of(bs("10110")) == H.fingerprint_of(bs("10110"))
+
+    def test_fingerprint_of_matches_two_step(self):
+        s = bs("011010")
+        assert H.fingerprint_of(s) == H.fingerprint(H.hash(s))
+
+    def test_fingerprint_spreads_lengths(self):
+        """All-zero strings of different lengths get distinct fingerprints."""
+        fps = {H.fingerprint_of(BitString(0, n)) for n in range(200)}
+        assert len(fps) == 200

@@ -1,0 +1,93 @@
+"""Property tests on the matched trie (MatchOutcome) itself.
+
+These validate the semantic invariants the §5 operations rely on,
+independently of any particular operation:
+
+* a full entry's depth equals its query node's depth;
+* a non-full (cutoff) entry's depth is strictly shallower than its node;
+* depths never exceed the true oracle LCP of the node's string;
+* entries exist for every node whose path matches at all (coverage);
+* has_key entries carry the stored value.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import BitString, PIMSystem, PIMTrie, PIMTrieConfig
+from repro.trie import PatriciaTrie, build_query_trie, rootfix
+
+bs = BitString.from_str
+
+key_lists = st.lists(
+    st.text(alphabet="01", min_size=0, max_size=30), min_size=1, max_size=30
+)
+
+
+def run_match(data_keys, query_keys, P=4, seed=1):
+    system = PIMSystem(P, seed=seed)
+    trie = PIMTrie(
+        system, PIMTrieConfig(num_modules=P),
+        keys=[bs(k) for k in data_keys],
+        values=[f"v:{k}" for k in data_keys],
+    )
+    qt = build_query_trie([bs(k) for k in query_keys])
+    trie._prepare_query(qt)
+    outcome = trie.match_batch(qt)
+    strings = rootfix(qt, bs(""), lambda a, n: a + n.parent_edge.label)
+    return qt, outcome, strings
+
+
+@given(key_lists, key_lists)
+@settings(max_examples=50, deadline=None)
+def test_entry_invariants(data_keys, query_keys):
+    qt, outcome, strings = run_match(data_keys, query_keys)
+    oracle = PatriciaTrie()
+    for k in data_keys:
+        oracle.insert(bs(k), f"v:{k}")
+    stored = {k for k in data_keys}
+    for node in qt.iter_nodes():
+        entry = outcome.get(node.uid)
+        s = strings[node.uid]
+        true_lcp = oracle.lcp(s)
+        if entry is None:
+            continue
+        if entry.full:
+            assert entry.depth == node.depth
+            # a full match certifies the whole node string is a prefix
+            assert true_lcp >= node.depth
+        else:
+            assert entry.depth < node.depth
+            # the divergence point is exactly the oracle LCP when no
+            # deeper ancestor information overrides it on this node
+            assert entry.depth <= max(true_lcp, node.depth)
+        if entry.has_key:
+            assert entry.full
+            assert s.to_str() in stored
+            assert entry.value == f"v:{s.to_str()}"
+
+
+@given(key_lists)
+@settings(max_examples=30, deadline=None)
+def test_self_match_is_exact(keys):
+    """Matching the data against itself: every stored key fully matches
+    with its own value."""
+    qt, outcome, strings = run_match(keys, keys)
+    stored = set(keys)
+    for node in qt.iter_nodes():
+        s = strings[node.uid]
+        if node.is_key and s.to_str() in stored:
+            entry = outcome.get(node.uid)
+            assert entry is not None
+            assert entry.full and entry.depth == node.depth
+            assert entry.has_key
+            assert entry.value == f"v:{s.to_str()}"
+
+
+def test_root_always_covered():
+    qt, outcome, _ = run_match(["0101"], ["1111"])
+    assert outcome.get(qt.root.uid) is not None
+
+
+def test_outcome_collision_counter_zero_at_full_width():
+    _qt, outcome, _ = run_match(["0101", "0110"], ["0101", "0011"])
+    assert outcome.collisions == 0

@@ -1,0 +1,211 @@
+"""Tests for the hash value manager structures (paper §4.4, §4.4.1)."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bits import BitString, IncrementalHasher
+from repro.core.meta import (
+    MetaPiece,
+    MetaRecord,
+    cut_node,
+    decompose_component,
+    make_record,
+)
+
+
+def bs(s: str) -> BitString:
+    return BitString.from_str(s)
+
+
+H = IncrementalHasher(seed=31)
+W = 64
+
+
+def random_tree(n: int, seed: int) -> dict[int, list[int]]:
+    rng = random.Random(seed)
+    kids: dict[int, list[int]] = {i: [] for i in range(n)}
+    for i in range(1, n):
+        kids[rng.randrange(i)].append(i)
+    return kids
+
+
+class TestMakeRecord:
+    def test_basic_fields(self):
+        s = bs("1" * 70)
+        rec = make_record(5, s, module=2, hasher=H, parent_block=1, w=W)
+        assert rec.block_id == 5
+        assert rec.depth == 70
+        assert rec.module == 2
+        assert rec.parent_block == 1
+        assert rec.fingerprint == H.fingerprint_of(s)
+        # the aligned decomposition
+        assert rec.aligned_depth() == 64
+        assert rec.s_rem == s.suffix_from(64)
+        assert len(rec.s_rem) == 6
+        assert rec.s_pre_fp == H.fingerprint_of(s.prefix(64))
+
+    def test_short_string(self):
+        s = bs("0101")
+        rec = make_record(1, s, 0, H, None, W)
+        assert rec.aligned_depth() == 0
+        assert rec.s_rem == s
+        assert rec.s_last == s
+
+    def test_s_last_window(self):
+        s = bs("10" * 60)  # 120 bits
+        rec = make_record(1, s, 0, H, None, W)
+        assert rec.s_last == s.suffix_from(120 - 64)
+        assert len(rec.s_last) == 64
+
+    def test_word_aligned_depth(self):
+        s = BitString(0, 128)
+        rec = make_record(1, s, 0, H, None, W)
+        assert len(rec.s_rem) == 0
+        assert rec.aligned_depth() == 128
+
+    def test_word_cost_constant(self):
+        long = make_record(1, bs("1" * 500), 0, H, None, W)
+        short = make_record(2, bs("1"), 0, H, None, W)
+        assert long.word_cost() == short.word_cost()  # O(1) words each
+
+
+class TestCutNode:
+    def test_path_picks_middle(self):
+        n = 15
+        kids = {i: [i + 1] for i in range(n - 1)}
+        kids[n - 1] = []
+        v = cut_node(list(range(n)), kids, 0)
+        # cutting v's out-edge splits into [0..v] and [v+1..n-1]
+        upper = v + 1
+        lower = n - upper
+        assert max(upper, lower) <= (n + 1) // 2 + 1
+
+    def test_star_picks_center(self):
+        kids = {0: list(range(1, 20))}
+        for i in range(1, 20):
+            kids[i] = []
+        assert cut_node(list(range(20)), kids, 0) == 0
+
+    def test_single_node(self):
+        assert cut_node([0], {0: []}, 0) == 0
+
+    @given(st.integers(2, 200), st.integers(0, 10_000))
+    @settings(max_examples=100)
+    def test_lemma45_bound(self, n, seed):
+        kids = random_tree(n, seed)
+        v = cut_node(list(range(n)), kids, 0)
+        size = {}
+        order = []
+        stack = [0]
+        while stack:
+            u = stack.pop()
+            order.append(u)
+            stack.extend(kids[u])
+        for u in reversed(order):
+            size[u] = 1 + sum(size[c] for c in kids[u])
+        worst = max(
+            [n - (size[v] - 1)] + [size[c] for c in kids[v]]
+        )
+        assert worst <= (n + 1) // 2 + 1
+
+
+class TestDecompose:
+    @given(st.integers(1, 300), st.integers(2, 32), st.integers(0, 10_000))
+    @settings(max_examples=100, deadline=None)
+    def test_partition_properties(self, n, bound, seed):
+        kids = random_tree(n, seed)
+        pm, pc, root = decompose_component(0, kids, bound)
+        # pieces partition the node set
+        seen = sorted(u for members in pm.values() for u in members)
+        assert seen == list(range(n))
+        # piece sizes bounded
+        assert all(len(m) <= max(bound, 2) for m in pm.values())
+        # the piece tree is a tree over all piece keys
+        reachable = set()
+        stack = [root]
+        while stack:
+            k = stack.pop()
+            assert k not in reachable
+            reachable.add(k)
+            stack.extend(pc[k])
+        assert reachable == set(pm)
+
+    @given(st.integers(4, 400), st.integers(0, 1000))
+    @settings(max_examples=60, deadline=None)
+    def test_height_logarithmic(self, n, seed):
+        kids = random_tree(n, seed)
+        bound = 4
+        pm, pc, root = decompose_component(0, kids, bound)
+
+        def height(k):
+            return 1 + max((height(c) for c in pc[k]), default=0)
+
+        assert height(root) <= 2 * math.log2(n) + 3
+
+    def test_pieces_are_connected(self):
+        """Every piece is a connected component of the original tree."""
+        kids = random_tree(120, seed=9)
+        pm, pc, root = decompose_component(0, kids, 7)
+        parent = {}
+        for u, cs in kids.items():
+            for c in cs:
+                parent[c] = u
+        for key, members in pm.items():
+            mset = set(members)
+            for u in members:
+                if u == key:
+                    continue
+                # walking up from u stays inside the piece until its root
+                cur = u
+                while cur != key:
+                    cur = parent[cur]
+                    assert cur in mset or cur == key
+
+
+class TestMetaPiece:
+    def rec(self, bid, s, parent=None):
+        return make_record(bid, bs(s), 0, H, parent, W)
+
+    def test_add_owned_and_replicated(self):
+        p = MetaPiece(1, module=0, w=W)
+        p.add_record(self.rec(1, "01"), owned=True)
+        p.add_record(self.rec(2, "0111", parent=1), owned=False)
+        assert p.own_size() == 1
+        assert p.represented_size() == 2
+        assert set(p.table) == {1, 2}
+
+    def test_replace_record(self):
+        p = MetaPiece(1, module=0, w=W)
+        p.add_record(self.rec(1, "01"), owned=True)
+        updated = self.rec(1, "01", parent=None)
+        p.add_record(updated, owned=True)
+        assert p.own_size() == 1
+        assert p.represented_size() == 1
+
+    def test_remove(self):
+        p = MetaPiece(1, module=0, w=W)
+        p.add_record(self.rec(1, "01"), owned=True)
+        p.add_record(self.rec(2, "0111", parent=1), owned=True)
+        p.remove_record(1)
+        assert set(p.table) == {2}
+        assert p.own_size() == 1
+        # removing again is a no-op
+        p.remove_record(1)
+        assert p.represented_size() == 1
+
+    def test_by_fp_lookup(self):
+        p = MetaPiece(1, module=0, w=W)
+        r = self.rec(1, "0101")
+        p.add_record(r, owned=True)
+        assert p.by_fp[r.fingerprint] == [1]
+        p.remove_record(1)
+        assert r.fingerprint not in p.by_fp
+
+    def test_word_cost_scales_with_table(self):
+        p = MetaPiece(1, module=0, w=W)
+        for i in range(10):
+            p.add_record(self.rec(i + 1, format(i, "05b")), owned=True)
+        assert p.word_cost() > 10

@@ -1,0 +1,100 @@
+"""Unit tests for the PIM Model metric records and snapshots."""
+
+import pytest
+
+from repro.pim import MetricsCollector, MetricsSnapshot, RoundRecord
+
+
+class TestRoundRecord:
+    def test_io_time_is_max_direction(self):
+        r = RoundRecord(words_to=(5, 1), words_from=(0, 9), kernel_work=(2, 3))
+        assert r.io_time == 9
+        assert r.total_words == 15
+        assert r.pim_time == 3
+
+    def test_empty_round(self):
+        r = RoundRecord(words_to=(), words_from=(), kernel_work=())
+        assert r.io_time == 0
+        assert r.total_words == 0
+        assert r.pim_time == 0
+
+
+class TestCollector:
+    def test_accumulation(self):
+        c = MetricsCollector(2)
+        c.record_round([3, 0], [1, 0], [5, 0])
+        c.record_round([0, 4], [0, 2], [0, 7])
+        s = c.snapshot()
+        assert s.io_rounds == 2
+        assert s.io_time == 3 + 4
+        assert s.total_communication == 10
+        assert s.pim_time == 12
+        assert s.pim_work == 12
+        assert s.per_module_traffic == (4, 6)
+        assert s.per_module_work == (5, 7)
+
+    def test_round_log_optional(self):
+        c = MetricsCollector(1, keep_round_log=True)
+        c.record_round([1], [0], [0])
+        assert len(c.rounds) == 1
+        c2 = MetricsCollector(1)
+        c2.record_round([1], [0], [0])
+        assert c2.rounds == []
+
+    def test_cpu_ticks(self):
+        c = MetricsCollector(1)
+        c.tick_cpu()
+        c.tick_cpu(4)
+        assert c.snapshot().cpu_work == 5
+
+    def test_reset(self):
+        c = MetricsCollector(2, keep_round_log=True)
+        c.record_round([1, 1], [1, 1], [1, 1])
+        c.tick_cpu(3)
+        c.reset()
+        s = c.snapshot()
+        assert s.io_rounds == 0
+        assert s.cpu_work == 0
+        assert s.per_module_traffic == (0, 0)
+        assert c.rounds == []
+
+
+class TestSnapshot:
+    def snap(self, **kw):
+        base = dict(
+            io_rounds=0, io_time=0, total_communication=0, pim_time=0,
+            pim_work=0, cpu_work=0, per_module_traffic=(0, 0),
+            per_module_work=(0, 0),
+        )
+        base.update(kw)
+        return MetricsSnapshot(**base)
+
+    def test_delta(self):
+        a = self.snap(io_rounds=3, total_communication=10,
+                      per_module_traffic=(6, 4))
+        b = self.snap(io_rounds=1, total_communication=4,
+                      per_module_traffic=(2, 2))
+        d = a.delta(b)
+        assert d.io_rounds == 2
+        assert d.total_communication == 6
+        assert d.per_module_traffic == (4, 2)
+
+    def test_imbalance_perfect(self):
+        s = self.snap(per_module_traffic=(5, 5))
+        assert s.traffic_imbalance() == pytest.approx(1.0)
+
+    def test_imbalance_serialized(self):
+        s = self.snap(per_module_traffic=(10, 0))
+        assert s.traffic_imbalance() == pytest.approx(2.0)
+
+    def test_imbalance_empty(self):
+        s = self.snap()
+        assert s.traffic_imbalance() == 1.0
+        assert s.work_imbalance() == 1.0
+
+    def test_as_dict_keys(self):
+        d = self.snap().as_dict()
+        assert set(d) == {
+            "io_rounds", "io_time", "total_communication", "pim_time",
+            "pim_work", "cpu_work", "traffic_imbalance", "work_imbalance",
+        }

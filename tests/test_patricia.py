@@ -1,0 +1,247 @@
+"""Tests for the sequential Patricia trie (the in-block structure + oracle)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bits import EMPTY, BitString
+from repro.trie import PatriciaTrie
+
+
+def bs(s: str) -> BitString:
+    return BitString.from_str(s)
+
+
+def build(*keys: str) -> PatriciaTrie:
+    t = PatriciaTrie()
+    for i, k in enumerate(keys):
+        t.insert(bs(k), i)
+    return t
+
+
+key_sets = st.lists(
+    st.text(alphabet="01", min_size=0, max_size=40), min_size=0, max_size=60
+)
+
+
+class TestInsertLookup:
+    def test_empty_trie(self):
+        t = PatriciaTrie()
+        assert len(t) == 0
+        assert t.lookup(bs("101")) is None
+        assert t.lcp(bs("101")) == 0
+        assert t.keys() == []
+
+    def test_single_key(self):
+        t = build("1011")
+        assert t.lookup(bs("1011")) == 0
+        assert t.lookup(bs("101")) is None
+        assert t.lookup(bs("10111")) is None
+        assert len(t) == 1
+
+    def test_empty_key(self):
+        t = build("")
+        assert t.lookup(EMPTY) == 0
+        assert len(t) == 1
+        t.check_invariants()
+
+    def test_overwrite(self):
+        t = PatriciaTrie()
+        assert t.insert(bs("10"), "a") is True
+        assert t.insert(bs("10"), "b") is False
+        assert t.lookup(bs("10")) == "b"
+        assert len(t) == 1
+
+    def test_prefix_keys_coexist(self):
+        t = build("10", "1011", "1010", "1")
+        for i, k in enumerate(["10", "1011", "1010", "1"]):
+            assert t.lookup(bs(k)) == i
+        t.check_invariants()
+
+    def test_split_edge(self):
+        t = build("0000", "0011")
+        assert t.lookup(bs("0000")) == 0
+        assert t.lookup(bs("0011")) == 1
+        # the implied branch node at depth 2 exists but stores no key
+        assert t.lookup(bs("00")) is None
+        t.check_invariants()
+
+    def test_paper_figure1_data_trie(self):
+        """The data trie of Figure 1 stores the five drawn keys."""
+        keys = ["000010", "00001101", "1010000", "1010111", "101011"]
+        t = PatriciaTrie()
+        for k in keys:
+            t.insert(bs(k), k)
+        for k in keys:
+            assert t.lookup(bs(k)) == k
+        t.check_invariants()
+
+
+class TestLCP:
+    def test_lcp_exact(self):
+        t = build("10110")
+        assert t.lcp(bs("10110")) == 5
+
+    def test_lcp_partial_on_edge(self):
+        t = build("10110")
+        assert t.lcp(bs("10100")) == 3  # diverges inside the edge
+
+    def test_lcp_at_branch(self):
+        t = build("000", "111")
+        assert t.lcp(bs("10")) == 1
+        assert t.lcp(bs("01")) == 1
+
+    def test_lcp_longer_than_keys(self):
+        t = build("101")
+        assert t.lcp(bs("10111")) == 3
+
+    def test_lcp_figure1(self):
+        """Paper Figure 1: LCP('101001') = 5 via a hidden-node match."""
+        t = build("000010", "00001101", "1010000", "1010111", "101011")
+        assert t.lcp(bs("101001")) == 5
+        # "00001001" shares its whole first 6 bits with stored key "000010"
+        assert t.lcp(bs("00001001")) == 6
+        # common prefix "10100" ends on hidden nodes in both tries (paper text)
+        assert t.lcp(bs("10100")) == 5
+
+    @given(key_sets, st.text(alphabet="01", max_size=40))
+    @settings(max_examples=200)
+    def test_lcp_matches_bruteforce(self, keys, query):
+        t = PatriciaTrie()
+        for k in keys:
+            t.insert(bs(k))
+        q = bs(query)
+        expected = max((q.lcp_len(bs(k)) for k in keys), default=0)
+        assert t.lcp(q) == expected
+
+
+class TestDelete:
+    def test_delete_present(self):
+        t = build("10", "1011", "1111")
+        assert t.delete(bs("1011")) is True
+        assert t.lookup(bs("1011")) is None
+        assert t.lookup(bs("10")) == 0
+        assert t.lookup(bs("1111")) == 2
+        t.check_invariants()
+
+    def test_delete_absent(self):
+        t = build("10")
+        assert t.delete(bs("11")) is False
+        assert t.delete(bs("101")) is False
+        assert len(t) == 1
+
+    def test_delete_merges_paths(self):
+        t = build("0000", "0011")
+        t.delete(bs("0011"))
+        t.check_invariants()
+        # the branch node at depth 2 must have been compressed away
+        assert t.num_nodes() == 2  # root + leaf
+        assert t.lookup(bs("0000")) == 0
+
+    def test_delete_all(self):
+        keys = ["0", "1", "00", "01", "10", "11", "000", ""]
+        t = PatriciaTrie()
+        for k in keys:
+            t.insert(bs(k), k)
+        for k in keys:
+            assert t.delete(bs(k)) is True
+            t.check_invariants()
+        assert len(t) == 0
+
+    def test_delete_internal_key_keeps_branch(self):
+        t = build("10", "100", "101")
+        t.delete(bs("10"))
+        t.check_invariants()
+        assert t.lookup(bs("100")) == 1
+        assert t.lookup(bs("101")) == 2
+
+
+class TestSubtree:
+    def test_subtree_items(self):
+        t = build("000", "001", "01", "1")
+        items = t.subtree_items(bs("0"))
+        assert [k.to_str() for k, _ in items] == ["000", "001", "01"]
+
+    def test_subtree_at_hidden_node(self):
+        t = build("0000", "0001")
+        items = t.subtree_items(bs("00"))
+        assert [k.to_str() for k, _ in items] == ["0000", "0001"]
+
+    def test_subtree_no_match(self):
+        t = build("0000")
+        assert t.subtree_items(bs("01")) == []
+
+    def test_subtree_empty_prefix_returns_all(self):
+        t = build("00", "01", "11")
+        assert len(t.subtree_items(EMPTY)) == 3
+
+    def test_subtree_returns_trie(self):
+        t = build("000", "001", "11")
+        s = t.subtree(bs("00"))
+        assert sorted(k.to_str() for k in s.keys()) == ["000", "001"]
+        s.check_invariants()
+
+    @given(key_sets, st.text(alphabet="01", max_size=10))
+    @settings(max_examples=150)
+    def test_subtree_matches_bruteforce(self, keys, prefix):
+        t = PatriciaTrie()
+        for k in keys:
+            t.insert(bs(k))
+        p = bs(prefix)
+        got = sorted(k.to_str() for k, _ in t.subtree_items(p))
+        expected = sorted({k for k in keys if bs(k).starts_with(p)})
+        assert got == expected
+
+
+class TestInvariantsProperty:
+    @given(key_sets)
+    @settings(max_examples=150)
+    def test_insert_then_check(self, keys):
+        t = PatriciaTrie()
+        for k in keys:
+            t.insert(bs(k), k)
+        t.check_invariants()
+        for k in keys:
+            assert t.lookup(bs(k)) == k
+        assert len(t) == len(set(keys))
+
+    @given(key_sets, st.randoms(use_true_random=False))
+    @settings(max_examples=100)
+    def test_mixed_insert_delete(self, keys, rnd):
+        t = PatriciaTrie()
+        alive = set()
+        ops = list(keys) * 2
+        rnd.shuffle(ops)
+        for k in ops:
+            if k in alive and rnd.random() < 0.5:
+                assert t.delete(bs(k))
+                alive.discard(k)
+            else:
+                t.insert(bs(k), k)
+                alive.add(k)
+            if rnd.random() < 0.2:
+                t.check_invariants()
+        t.check_invariants()
+        assert sorted(k.to_str() for k in t.keys()) == sorted(alive)
+
+    @given(key_sets)
+    def test_iter_items_sorted(self, keys):
+        t = PatriciaTrie()
+        for k in keys:
+            t.insert(bs(k))
+        got = [k for k, _ in t.iter_items()]
+        assert got == sorted(got)
+
+
+class TestMetrics:
+    def test_edge_bits_tracks_labels(self):
+        t = build("0000", "0011")
+        # edges: "00" + "00" + "11" = 6 bits
+        assert t.L == 6
+
+    def test_Q_positive(self):
+        t = build("0", "1")
+        assert t.Q() >= 2
+
+    def test_word_cost(self):
+        t = build("0" * 200)
+        assert t.word_cost() >= 4  # long label costs ceil(200/64)+ words

@@ -1,0 +1,320 @@
+"""Integration tests: PIMTrie vs the sequential Patricia-trie oracle."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import BitString, PIMSystem, PIMTrie, PIMTrieConfig
+from repro.trie import PatriciaTrie
+
+
+def bs(s: str) -> BitString:
+    return BitString.from_str(s)
+
+
+def make_trie(keys, P=4, seed=1, **cfg_kw):
+    system = PIMSystem(P, seed=seed)
+    cfg = PIMTrieConfig(num_modules=P, **cfg_kw)
+    keys = [bs(k) for k in keys]
+    return PIMTrie(system, cfg, keys=keys, values=[k.to_str() for k in keys])
+
+
+def oracle(keys):
+    t = PatriciaTrie()
+    for k in keys:
+        t.insert(bs(k), k)
+    return t
+
+
+FIG1_KEYS = ["000010", "00001101", "1010000", "1010111", "101011"]
+
+key_lists = st.lists(
+    st.text(alphabet="01", min_size=0, max_size=40), min_size=1, max_size=50
+)
+query_lists = st.lists(
+    st.text(alphabet="01", min_size=0, max_size=40), min_size=1, max_size=30
+)
+
+
+class TestConstruction:
+    def test_empty(self):
+        t = make_trie([])
+        assert t.num_keys() == 0
+        assert t.lcp_batch([bs("0101")]) == [0]
+
+    def test_single_key(self):
+        t = make_trie(["1011"])
+        assert t.num_keys() == 1
+        assert t.lcp_batch([bs("1011"), bs("1000"), bs("0")]) == [4, 2, 0]
+
+    def test_figure1(self):
+        t = make_trie(FIG1_KEYS)
+        assert t.num_keys() == 5
+        assert t.lcp_batch([bs("101001")]) == [5]
+
+    def test_many_blocks(self):
+        keys = [format(i, "012b") for i in range(256)]
+        t = make_trie(keys, P=8)
+        assert t.num_keys() == 256
+        assert t.num_blocks() > 4  # decomposition really happened
+
+    def test_long_keys_cut_edges(self):
+        keys = ["1" * 4000, "1" * 4000 + "0", "0" * 3000]
+        t = make_trie(keys, P=4)
+        assert t.num_keys() == 3
+        assert t.lcp_batch([bs("1" * 4000)]) == [4000]
+        # long edges must have been cut into multiple blocks
+        assert t.num_blocks() >= 3
+
+    def test_config_module_mismatch_rejected(self):
+        system = PIMSystem(4)
+        with pytest.raises(ValueError):
+            PIMTrie(system, PIMTrieConfig(num_modules=8))
+
+
+class TestLCP:
+    def test_exact_and_partial(self):
+        t = make_trie(FIG1_KEYS)
+        qs = ["000010", "000011", "10101", "11", "0000", ""]
+        ref = oracle(FIG1_KEYS)
+        assert t.lcp_batch([bs(q) for q in qs]) == [
+            ref.lcp(bs(q)) for q in qs
+        ]
+
+    def test_duplicate_queries(self):
+        t = make_trie(FIG1_KEYS)
+        assert t.lcp_batch([bs("101011"), bs("101011")]) == [6, 6]
+
+    @given(key_lists, query_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_matches_oracle(self, keys, queries):
+        t = make_trie(keys, P=4)
+        ref = oracle(keys)
+        got = t.lcp_batch([bs(q) for q in queries])
+        want = [ref.lcp(bs(q)) for q in queries]
+        assert got == want
+
+    @given(key_lists, query_lists, st.integers(2, 16))
+    @settings(max_examples=25, deadline=None)
+    def test_matches_oracle_various_P(self, keys, queries, P):
+        t = make_trie(keys, P=P, seed=P)
+        ref = oracle(keys)
+        assert t.lcp_batch([bs(q) for q in queries]) == [
+            ref.lcp(bs(q)) for q in queries
+        ]
+
+    def test_deep_shared_prefix_adversarial(self):
+        """Adversarial skew: all keys share a 200-bit prefix."""
+        p = "10" * 100
+        keys = [p + format(i, "08b") for i in range(64)]
+        t = make_trie(keys, P=8)
+        ref = oracle(keys)
+        qs = [p + format(i, "08b") for i in range(0, 128, 3)] + [p[:50], "0"]
+        assert t.lcp_batch([bs(q) for q in qs]) == [ref.lcp(bs(q)) for q in qs]
+
+    def test_naive_mode_matches(self):
+        t = make_trie(FIG1_KEYS, use_pivots=False)
+        ref = oracle(FIG1_KEYS)
+        qs = ["101001", "000011", "1010111", ""]
+        assert t.lcp_batch([bs(q) for q in qs]) == [ref.lcp(bs(q)) for q in qs]
+
+    def test_no_push_pull_matches(self):
+        t = make_trie(FIG1_KEYS, use_push_pull=False)
+        ref = oracle(FIG1_KEYS)
+        qs = ["101001", "000011"]
+        assert t.lcp_batch([bs(q) for q in qs]) == [ref.lcp(bs(q)) for q in qs]
+
+
+class TestLookup:
+    def test_lookup_values(self):
+        t = make_trie(FIG1_KEYS)
+        got = t.lookup_batch([bs("101011"), bs("101010"), bs("000010")])
+        assert got == ["101011", None, "000010"]
+
+
+class TestInsert:
+    def test_insert_new(self):
+        t = make_trie(["0000"])
+        n = t.insert_batch([bs("0011"), bs("1111")], ["a", "b"])
+        assert n == 2
+        assert t.num_keys() == 3
+        assert t.lookup_batch([bs("0011"), bs("1111")]) == ["a", "b"]
+
+    def test_insert_existing_overwrites(self):
+        t = make_trie(["0000"])
+        n = t.insert_batch([bs("0000")], ["new"])
+        assert n == 0
+        assert t.num_keys() == 1
+        assert t.lookup_batch([bs("0000")]) == ["new"]
+
+    def test_insert_prefix_of_existing(self):
+        t = make_trie(["0000"])
+        t.insert_batch([bs("00")], ["p"])
+        assert t.lookup_batch([bs("00"), bs("0000")]) == ["p", "0000"]
+
+    def test_insert_extension_of_existing(self):
+        t = make_trie(["00"])
+        t.insert_batch([bs("0000")], ["e"])
+        assert t.lookup_batch([bs("00"), bs("0000")]) == ["00", "e"]
+
+    def test_insert_into_empty(self):
+        t = make_trie([])
+        t.insert_batch([bs("1"), bs("0")], ["x", "y"])
+        assert t.num_keys() == 2
+        assert t.lcp_batch([bs("10")]) == [1]
+
+    def test_insert_triggers_repartition(self):
+        t = make_trie(["0"], P=4)
+        before = t.num_blocks()
+        keys = [format(i, "012b") for i in range(512)]
+        t.insert_batch([bs(k) for k in keys], keys)
+        assert t.num_keys() == 513
+        assert t.num_blocks() > before
+        # everything still findable after the re-partitioning storm
+        got = t.lookup_batch([bs(k) for k in keys[::37]])
+        assert got == [k for k in keys[::37]]
+
+    @given(key_lists, key_lists)
+    @settings(max_examples=25, deadline=None)
+    def test_matches_oracle(self, initial, inserts):
+        t = make_trie(initial, P=4)
+        ref = oracle(initial)
+        t.insert_batch([bs(k) for k in inserts], list(inserts))
+        for k in inserts:
+            ref.insert(bs(k), k)
+        queries = (initial + inserts)[:20]
+        assert t.lcp_batch([bs(q) for q in queries]) == [
+            ref.lcp(bs(q)) for q in queries
+        ]
+        assert t.num_keys() == len(ref)
+
+
+class TestDelete:
+    def test_delete_present(self):
+        t = make_trie(FIG1_KEYS)
+        assert t.delete_batch([bs("101011")]) == 1
+        assert t.num_keys() == 4
+        assert t.lookup_batch([bs("101011")]) == [None]
+        assert t.lookup_batch([bs("1010111")]) == ["1010111"]
+
+    def test_delete_absent(self):
+        t = make_trie(["0000"])
+        assert t.delete_batch([bs("1111"), bs("00")]) == 0
+        assert t.num_keys() == 1
+
+    def test_delete_all(self):
+        t = make_trie(FIG1_KEYS)
+        assert t.delete_batch([bs(k) for k in FIG1_KEYS]) == 5
+        assert t.num_keys() == 0
+        assert t.lcp_batch([bs("000010")]) == [0]
+
+    def test_delete_then_reinsert(self):
+        t = make_trie(["0101", "0110"])
+        t.delete_batch([bs("0101")])
+        t.insert_batch([bs("0101")], ["again"])
+        assert t.lookup_batch([bs("0101")]) == ["again"]
+
+    @given(key_lists, st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_matches_oracle(self, keys, data):
+        t = make_trie(keys, P=4)
+        ref = oracle(keys)
+        dels = data.draw(
+            st.lists(st.sampled_from(sorted(set(keys))), max_size=10)
+        )
+        t.delete_batch([bs(k) for k in dels])
+        for k in set(dels):
+            ref.delete(bs(k))
+        assert t.num_keys() == len(ref)
+        queries = keys[:15]
+        assert t.lcp_batch([bs(q) for q in queries]) == [
+            ref.lcp(bs(q)) for q in queries
+        ]
+
+
+class TestSubtree:
+    def test_subtree_basic(self):
+        t = make_trie(["000", "001", "01", "1"])
+        (got,) = t.subtree_batch([bs("0")])
+        assert [(k.to_str(), v) for k, v in got] == [
+            ("000", "000"),
+            ("001", "001"),
+            ("01", "01"),
+        ]
+
+    def test_subtree_whole_trie(self):
+        t = make_trie(FIG1_KEYS)
+        (got,) = t.subtree_batch([bs("")])
+        assert sorted(k.to_str() for k, _ in got) == sorted(FIG1_KEYS)
+
+    def test_subtree_no_match(self):
+        t = make_trie(["000"])
+        (got,) = t.subtree_batch([bs("1")])
+        assert got == []
+
+    def test_subtree_crosses_blocks(self):
+        keys = [format(i, "012b") for i in range(256)]
+        t = make_trie(keys, P=8)
+        (got,) = t.subtree_batch([bs("0000")])
+        want = sorted(k for k in keys if k.startswith("0000"))
+        assert [k.to_str() for k, _ in got] == want
+
+    @given(key_lists, st.lists(st.text(alphabet="01", max_size=8), min_size=1, max_size=5))
+    @settings(max_examples=25, deadline=None)
+    def test_matches_oracle(self, keys, prefixes):
+        t = make_trie(keys, P=4)
+        ref = oracle(keys)
+        got = t.subtree_batch([bs(p) for p in prefixes])
+        for p, res in zip(prefixes, got):
+            want = sorted(
+                (k.to_str(), v) for k, v in ref.subtree_items(bs(p))
+            )
+            assert [(k.to_str(), v) for k, v in res] == want
+
+
+class TestMetrics:
+    def test_lcp_batch_is_accounted(self):
+        t = make_trie(FIG1_KEYS)
+        before = t.system.snapshot()
+        t.lcp_batch([bs("101001"), bs("000011")])
+        d = t.system.snapshot().delta(before)
+        assert d.io_rounds >= 2
+        assert d.total_communication > 0
+
+    def test_space_accounted(self):
+        t = make_trie([format(i, "010b") for i in range(128)], P=8)
+        assert t.space_words() > 100
+
+
+class TestMixedWorkload:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_random_op_sequences(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        universe = [format(i, "08b") for i in range(64)]
+        t = make_trie([], P=4, seed=seed % 7 + 2)
+        ref = PatriciaTrie()
+        for _ in range(6):
+            op = rng.random()
+            batch = rng.sample(universe, rng.randint(1, 12))
+            if op < 0.45:
+                t.insert_batch([bs(k) for k in batch], batch)
+                for k in batch:
+                    ref.insert(bs(k), k)
+            elif op < 0.7:
+                t.delete_batch([bs(k) for k in batch])
+                for k in batch:
+                    ref.delete(bs(k))
+            elif op < 0.9:
+                assert t.lcp_batch([bs(k) for k in batch]) == [
+                    ref.lcp(bs(k)) for k in batch
+                ]
+            else:
+                got = t.subtree_batch([bs(batch[0][:3])])
+                want = sorted(
+                    (k.to_str(), v)
+                    for k, v in ref.subtree_items(bs(batch[0][:3]))
+                )
+                assert [(k.to_str(), v) for k, v in got[0]] == want
+            assert t.num_keys() == len(ref)

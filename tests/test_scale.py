@@ -1,0 +1,125 @@
+"""Larger end-to-end scenarios: mixed operations at moderate scale,
+cross-checked against the sequential oracle.  These are the 'does the
+whole machine hold together' tests — slower than unit tests, still
+well under a minute together."""
+
+import random
+
+import pytest
+
+from repro import BitString, PIMSystem, PIMTrie, PIMTrieConfig
+from repro.trie import PatriciaTrie
+from repro.workloads import (
+    ip_prefixes,
+    shared_prefix_flood,
+    text_keys,
+    uniform_variable_keys,
+)
+
+bs = BitString.from_str
+
+
+def oracle_of(keys, values=None):
+    t = PatriciaTrie()
+    vals = values if values is not None else [None] * len(keys)
+    for k, v in zip(keys, vals):
+        t.insert(k, v)
+    return t
+
+
+class TestModerateScale:
+    def test_2k_uniform_keys_full_lifecycle(self):
+        P = 16
+        keys = sorted(set(uniform_variable_keys(2000, 16, 96, seed=1)))
+        system = PIMSystem(P, seed=1)
+        trie = PIMTrie(
+            system, PIMTrieConfig(num_modules=P),
+            keys=keys, values=[k.to_str() for k in keys],
+        )
+        ref = oracle_of(keys, [k.to_str() for k in keys])
+        # queries
+        qs = keys[::17] + uniform_variable_keys(60, 16, 96, seed=2)
+        assert trie.lcp_batch(qs) == [ref.lcp(q) for q in qs]
+        # deletes of a third
+        dels = keys[::3]
+        assert trie.delete_batch(dels) == len(dels)
+        for k in dels:
+            ref.delete(k)
+        # re-query
+        qs2 = keys[::13]
+        assert trie.lcp_batch(qs2) == [ref.lcp(q) for q in qs2]
+        assert trie.num_keys() == len(ref)
+        trie.validate()
+
+    def test_ip_table_scale(self):
+        P = 8
+        table = sorted(set(ip_prefixes(3000, seed=7)))
+        system = PIMSystem(P, seed=2)
+        trie = PIMTrie(system, PIMTrieConfig(num_modules=P), keys=table)
+        ref = oracle_of(table)
+        probes = [BitString(int(i * 2654435761) % (1 << 32), 32) for i in range(200)]
+        assert trie.lcp_batch(probes) == [ref.lcp(p) for p in probes]
+
+    def test_text_keys_subtree_consistency(self):
+        P = 8
+        paths = sorted(set(text_keys(1500, seed=8)))
+        system = PIMSystem(P, seed=3)
+        trie = PIMTrie(
+            system, PIMTrieConfig(num_modules=P),
+            keys=paths, values=list(range(len(paths))),
+        )
+        ref = oracle_of(paths, list(range(len(paths))))
+        prefixes = [BitString.from_text(p) for p in ("/api", "/static", "/zzz")]
+        got = trie.subtree_batch(prefixes)
+        for p, res in zip(prefixes, got):
+            want = sorted(
+                ((k.to_str(), v) for k, v in ref.subtree_items(p))
+            )
+            assert [(k.to_str(), v) for k, v in res] == want
+
+    def test_adversarial_growth_then_shrink(self):
+        """A deep shared-prefix flood grows one subtree massively, then
+        is torn back down — block GC + HVM rebuilds under stress."""
+        P = 8
+        base = uniform_variable_keys(200, 16, 48, seed=9)
+        flood = sorted(set(shared_prefix_flood(600, 96, 24, seed=10)))
+        system = PIMSystem(P, seed=4)
+        trie = PIMTrie(system, PIMTrieConfig(num_modules=P), keys=base)
+        ref = oracle_of(base)
+        trie.insert_batch(flood)
+        for k in flood:
+            ref.insert(k)
+        assert trie.num_keys() == len(ref)
+        qs = flood[::29] + base[::11]
+        assert trie.lcp_batch(qs) == [ref.lcp(q) for q in qs]
+        trie.validate()
+        trie.delete_batch(flood)
+        for k in flood:
+            ref.delete(k)
+        assert trie.num_keys() == len(ref)
+        trie.validate()
+        qs2 = base[::7]
+        assert trie.lcp_batch(qs2) == [ref.lcp(q) for q in qs2]
+
+    def test_many_small_batches(self):
+        """Interleaved small batches exercise repeated maintenance."""
+        P = 4
+        rng = random.Random(11)
+        system = PIMSystem(P, seed=5)
+        trie = PIMTrie(system, PIMTrieConfig(num_modules=P), keys=[])
+        ref = PatriciaTrie()
+        universe = [bs(format(i, "010b")) for i in range(1024)]
+        for step in range(14):
+            batch = rng.sample(universe, 40)
+            if step % 3 == 2:
+                trie.delete_batch(batch)
+                for k in batch:
+                    ref.delete(k)
+            else:
+                trie.insert_batch(batch)
+                for k in batch:
+                    ref.insert(k)
+            assert trie.num_keys() == len(ref)
+        qs = rng.sample(universe, 100)
+        assert trie.lcp_batch(qs) == [ref.lcp(q) for q in qs]
+        trie.validate()

@@ -1,0 +1,91 @@
+"""Tests for the workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.bits import BitString
+from repro.workloads import (
+    ip_prefixes,
+    shared_prefix_flood,
+    single_range_flood,
+    text_keys,
+    uniform_keys,
+    uniform_variable_keys,
+    zipf_prefix,
+)
+
+
+class TestUniform:
+    def test_shapes(self):
+        ks = uniform_keys(50, 64, seed=1)
+        assert len(ks) == 50
+        assert all(len(k) == 64 for k in ks)
+
+    def test_seeded_deterministic(self):
+        assert uniform_keys(10, 32, seed=7) == uniform_keys(10, 32, seed=7)
+        assert uniform_keys(10, 32, seed=7) != uniform_keys(10, 32, seed=8)
+
+    def test_variable_lengths_in_range(self):
+        ks = uniform_variable_keys(100, 5, 20, seed=2)
+        assert all(5 <= len(k) <= 20 for k in ks)
+
+    def test_variable_zero_length_allowed(self):
+        ks = uniform_variable_keys(50, 0, 3, seed=3)
+        assert any(len(k) == 0 for k in ks)
+
+    def test_entropy(self):
+        """Uniform keys should have near-balanced bit counts."""
+        ks = uniform_keys(200, 64, seed=4)
+        ones = sum(sum(k) for k in ks)
+        assert 0.45 < ones / (200 * 64) < 0.55
+
+
+class TestAdversarial:
+    def test_shared_prefix(self):
+        ks = shared_prefix_flood(40, 100, 16, seed=1)
+        assert all(len(k) == 116 for k in ks)
+        p = ks[0].prefix(100)
+        assert all(k.prefix(100) == p for k in ks)
+        # pattern prefix, not degenerate all-zero
+        assert 0 < sum(p) < 100
+
+    def test_single_range_flood(self):
+        ks = single_range_flood(30, 128, seed=2)
+        p = ks[0].prefix(64)
+        assert all(k.prefix(64) == p for k in ks)
+
+    def test_single_range_flood_short(self):
+        ks = single_range_flood(10, 8, seed=2)
+        assert all(len(k) == 8 for k in ks)
+
+    def test_zipf_concentrates(self):
+        ks = zipf_prefix(500, 32, num_hot=16, theta=1.5, seed=3)
+        halves = {}
+        for k in ks:
+            h = k.prefix(16)
+            halves[h] = halves.get(h, 0) + 1
+        counts = sorted(halves.values(), reverse=True)
+        # the hottest prefix dominates under theta=1.5
+        assert counts[0] > len(ks) / 8
+        assert len(halves) <= 16
+
+
+class TestDomain:
+    def test_ip_prefixes(self):
+        ks = ip_prefixes(300, seed=1)
+        assert len(ks) == 300
+        assert all(8 <= len(k) <= 28 for k in ks)
+        # /24 should dominate, as in real routing tables
+        by_len = {}
+        for k in ks:
+            by_len[len(k)] = by_len.get(len(k), 0) + 1
+        assert by_len.get(24, 0) == max(by_len.values())
+
+    def test_text_keys(self):
+        ks = text_keys(50, seed=1)
+        assert all(len(k) % 8 == 0 and len(k) > 0 for k in ks)
+        # decodes back to slash-paths
+        raw = bytes(
+            int(ks[0].to_str()[i : i + 8], 2) for i in range(0, len(ks[0]), 8)
+        )
+        assert raw.startswith(b"/")

@@ -11,6 +11,7 @@ Quickstart::
     trie.lcp_batch([BitString.from_str("0111")])   # -> [2]
 """
 
+from . import fastpath
 from .bits import BitString, HashValue, IncrementalHasher
 from .core import MatchOutcome, PIMTrie, PIMTrieConfig
 from .pim import MetricsSnapshot, PIMSystem
@@ -26,5 +27,6 @@ __all__ = [
     "PIMTrieConfig",
     "MetricsSnapshot",
     "PIMSystem",
+    "fastpath",
     "__version__",
 ]

@@ -17,7 +17,7 @@ from typing import Any, Iterable, Optional, Sequence
 
 from ..bits import BitString
 from ..pim import ModuleContext, PIMSystem
-from ..trie import PatriciaTrie
+from ..trie import PatriciaTrie, argsort
 
 __all__ = ["RangePartitionedIndex"]
 
@@ -78,7 +78,7 @@ class RangePartitionedIndex:
         """Choose separators by equal-count splits of the initial keys
         (the CPU-side lookup structure of §3.2), then scatter."""
         P = self.system.num_modules
-        order = sorted(range(len(keys)), key=lambda i: keys[i])
+        order = argsort(keys)
         if len(keys) >= P:
             self.separators = [
                 keys[order[(i * len(keys)) // P]] for i in range(1, P)

@@ -25,7 +25,7 @@ class BitString:
     concatenation, prefix tests, and longest-common-prefix computation.
     """
 
-    __slots__ = ("_value", "_length")
+    __slots__ = ("_value", "_length", "_hash")
 
     def __init__(self, value: int, length: int):
         # accept anything integer-like (numpy scalars included) but
@@ -42,6 +42,7 @@ class BitString:
             )
         self._value = value
         self._length = length
+        self._hash = None
 
     # ------------------------------------------------------------------
     # constructors
@@ -217,7 +218,14 @@ class BitString:
         )
 
     def __hash__(self) -> int:
-        return hash((self._value, self._length))
+        # keys act as dict keys on every hash-table probe of the
+        # simulator's hot loop; the tuple hash over a bignum is worth
+        # caching (hash() never returns -1, so None is a safe sentinel)
+        h = self._hash
+        if h is None:
+            h = hash((self._value, self._length))
+            self._hash = h
+        return h
 
     # ------------------------------------------------------------------
     # misc

@@ -65,13 +65,17 @@ class CarrylessHasher:
         # a non-zero odd multiplier for the integer scrambler
         self._mul = (s | 1) & ((1 << self.DEG) - 1)
         self._add = (s >> 3) & ((1 << self.DEG) - 1)
-        #: cache of x^n mod g keyed by n
-        self._pow_cache: dict[int, int] = {1: 2}
+
+    # x^n mod g is seed-independent (the modulus polynomial is fixed),
+    # so the memo table is shared by all hasher instances, mirroring
+    # IncrementalHasher._POW2_TABLE.  Bounded against unbounded growth.
+    _POWX_TABLE: dict[int, int] = {1: 2}
 
     # ------------------------------------------------------------------
     def _pow_x(self, n: int) -> int:
         """x^n mod g(x) by square-and-multiply with memoization."""
-        cached = self._pow_cache.get(n)
+        table = CarrylessHasher._POWX_TABLE
+        cached = table.get(n)
         if cached is not None:
             return cached
         if n == 0:
@@ -80,8 +84,8 @@ class CarrylessHasher:
         out = _gf2_mulmod(half, half, self.poly, self.DEG)
         if n & 1:
             out = _gf2_mulmod(out, 2, self.poly, self.DEG)
-        if len(self._pow_cache) < 1 << 16:
-            self._pow_cache[n] = out
+        if len(table) < 1 << 16:
+            table[n] = out
         return out
 
     def _reduce(self, value: int, length: int) -> int:
@@ -136,6 +140,21 @@ class CarrylessHasher:
     def empty(self) -> HashValue:
         return HashValue(0, 0)
 
+    def hash_batch(self, strings: Sequence[BitString]) -> list[HashValue]:
+        """Batch form of :meth:`hash` (interface parity with
+        :class:`~repro.bits.hashing.IncrementalHasher`)."""
+        reduce = self._reduce
+        return [HashValue(reduce(s.value, len(s)), len(s)) for s in strings]
+
+    def pivot_fingerprints(
+        self, base: HashValue, s: BitString, positions: Sequence[int]
+    ) -> list[int]:
+        """``fingerprint(combine(base, prefix_hash(s, p)))`` per position
+        (interface parity with the modular hasher's fused pivot probe)."""
+        hashes = self.prefix_hashes(s, positions)
+        combine = self.combine
+        return self.fingerprint_batch([combine(base, h) for h in hashes])
+
     # ------------------------------------------------------------------
     # seeded fingerprints
     # ------------------------------------------------------------------
@@ -149,6 +168,18 @@ class CarrylessHasher:
 
     def fingerprint_of(self, s: BitString) -> int:
         return self.fingerprint(self.hash(s))
+
+    def fingerprint_batch(self, hashes: Sequence[HashValue]) -> list[int]:
+        """Batch form of :meth:`fingerprint`, parameters bound once."""
+        mul, add, mask = self._mul, self._add, self._mask
+        deg_mask = (1 << self.DEG) - 1
+        out: list[int] = []
+        for h in hashes:
+            mixed = (h.digest ^ (h.length * 0x9E3779B97F4A7C15)) & deg_mask
+            f = (mixed * mul + add) & deg_mask
+            f ^= f >> 29
+            out.append(f & mask)
+        return out
 
     def __repr__(self) -> str:
         return f"CarrylessHasher(seed={self.seed:#x}, width={self.width})"

@@ -93,17 +93,23 @@ class IncrementalHasher:
         s = (s * 6364136223846793005 + 1442695040888963407) & (1 << 64) - 1
         self._add = 1 + _mod_m61(s ^ (s >> 11)) % (MERSENNE_61 - 1)
         self._mask = (1 << width) - 1
-        # cache of 2^n mod q keyed by n (lengths repeat heavily)
-        self._pow_cache: dict[int, int] = {}
+
+    # 2^n mod q is seed-independent, so the memo table is shared by all
+    # hasher instances (class-level): rootfix scans and pivot prefix
+    # sums (Lemmas 4.4 / 4.9) across many tries and re-seeded hashers
+    # stop paying per-call pow().  Bounded so adversarial lengths cannot
+    # grow it without limit.
+    _POW2_TABLE: dict[int, int] = {}
 
     # ------------------------------------------------------------------
     def _pow2(self, n: int) -> int:
-        """2^n mod q with memoization on n."""
-        cached = self._pow_cache.get(n)
+        """2^n mod q with class-level memoization on n."""
+        table = IncrementalHasher._POW2_TABLE
+        cached = table.get(n)
         if cached is None:
             cached = pow(2, n, MERSENNE_61)
-            if len(self._pow_cache) < 1 << 16:
-                self._pow_cache[n] = cached
+            if len(table) < 1 << 16:
+                table[n] = cached
         return cached
 
     # ------------------------------------------------------------------
@@ -152,6 +158,16 @@ class IncrementalHasher:
         """Hash of the empty string (the trie root)."""
         return HashValue(0, 0)
 
+    def hash_batch(self, strings: Sequence[BitString]) -> list[HashValue]:
+        """Hash many full bit-strings in one call.
+
+        Same values as ``[self.hash(s) for s in strings]`` with the
+        per-call dispatch hoisted out of the loop — batch scans hash
+        every edge of a fragment, so the constant matters.
+        """
+        q = MERSENNE_61
+        return [HashValue(s.value % q, len(s)) for s in strings]
+
     # ------------------------------------------------------------------
     # seeded fingerprints (what hash tables compare)
     # ------------------------------------------------------------------
@@ -169,6 +185,69 @@ class IncrementalHasher:
 
     def fingerprint_of(self, s: BitString) -> int:
         return self.fingerprint(self.hash(s))
+
+    def pivot_fingerprints(
+        self, base: HashValue, s: BitString, positions: Sequence[int]
+    ) -> list[int]:
+        """``fingerprint(combine(base, prefix_hash(s, p)))`` per position.
+
+        The fused form of the pivot probe in §4.4.2 matching: one pass
+        over ``s`` with no intermediate :class:`HashValue` allocations.
+        Positions must be non-decreasing in ``[0, len(s)]``.
+        """
+        q = MERSENNE_61
+        mul, add, mask = self._mul, self._add, self._mask
+        pow2 = self._pow2
+        base_digest, base_length = base.digest, base.length
+        n = len(s)
+        v = s.value
+        prev_p = 0
+        digest = 0
+        out: list[int] = []
+        for p in positions:
+            if not 0 <= p <= n:
+                raise ValueError(f"prefix position {p} out of range")
+            if p < prev_p:
+                raise ValueError("positions must be non-decreasing")
+            step = p - prev_p
+            if step:
+                x = digest * pow2(step) + ((v >> (n - p)) & ((1 << step) - 1)) % q
+                while x >> 61:
+                    x = (x & q) + (x >> 61)
+                digest = 0 if x == q else x
+            prev_p = p
+            # combine(base, (digest, p)) then the affine fingerprint
+            x = base_digest * pow2(p) + digest
+            while x >> 61:
+                x = (x & q) + (x >> 61)
+            if x == q:
+                x = 0
+            f = (x + (base_length + p) * add + 1) * mul
+            while f >> 61:
+                f = (f & q) + (f >> 61)
+            if f == q:
+                f = 0
+            out.append(f & mask)
+        return out
+
+    def fingerprint_batch(self, hashes: Sequence[HashValue]) -> list[int]:
+        """Fingerprints of many hash values in one call.
+
+        Identical to ``[self.fingerprint(h) for h in hashes]``; the
+        affine parameters are bound once so per-edge bottom-up probes
+        and pivot scans stop re-reading instance attributes per value.
+        """
+        mul, add, mask = self._mul, self._add, self._mask
+        q = MERSENNE_61
+        out: list[int] = []
+        for h in hashes:
+            f = (h.digest + h.length * add + 1) * mul
+            while f >> 61:
+                f = (f & q) + (f >> 61)
+            if f == q:
+                f = 0
+            out.append(f & mask)
+        return out
 
     def __repr__(self) -> str:
         return f"IncrementalHasher(seed={self.seed:#x}, width={self.width})"

@@ -9,8 +9,12 @@ reproduce, without pytest:
 * ``python -m repro scaling``             — O(log P) round growth + fit
 * ``python -m repro bench-all``           — all of the above
 
+* ``python -m repro perf [--smoke]``      — wall-clock harness (BENCH_wallclock.json)
+
 All numbers are PIM Model counts from the simulator (IO rounds, words,
-per-module balance), not wall-clock times.
+per-module balance), not wall-clock times — except ``perf``, which
+times the simulator itself (fast path vs baseline, with a
+metric-parity proof).
 """
 
 from __future__ import annotations
@@ -127,6 +131,17 @@ def cmd_scaling(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_perf(args: argparse.Namespace) -> int:
+    from .perf import run_bench
+
+    report = run_bench(out=args.out, smoke=args.smoke, reps=args.reps)
+    head = report["headline"]
+    print(f"\nheadline (P={head['P']}, n={head['n']}, l={head['l']}): "
+          f"batched-LCP speedup {head['lcp_speedup']:.2f}x, "
+          f"metric parity {'OK' if head['metric_parity'] else 'FAILED'}")
+    return 0
+
+
 def cmd_bench_all(args: argparse.Namespace) -> int:
     rc = 0
     for fn in (cmd_demo, cmd_table1, cmd_skew, cmd_scaling):
@@ -156,6 +171,13 @@ def main(argv: list[str] | None = None) -> int:
         p = sub.add_parser(name)
         p.set_defaults(fn=fn)
         p.add_argument("--p", type=int, default=16)
+    p = sub.add_parser(
+        "perf", help="wall-clock perf harness (writes BENCH_wallclock.json)"
+    )
+    p.set_defaults(fn=cmd_perf)
+    p.add_argument("--smoke", action="store_true")
+    p.add_argument("--out", default="BENCH_wallclock.json")
+    p.add_argument("--reps", type=int, default=None)
     args = parser.parse_args(argv)
     return args.fn(args)
 

@@ -19,6 +19,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Iterator, Optional
 
+from .. import fastpath
 from ..bits import BitString, HashValue, IncrementalHasher
 from ..trie import (
     PatriciaTrie,
@@ -57,8 +58,17 @@ class DataBlock:
     #: last min(w, depth) bits of the root's represented string — the
     #: S_last verification payload of §4.4.3
     s_last: BitString = field(default_factory=lambda: BitString(0, 0))
+    #: cached word cost; anything that mutates ``trie`` in place must
+    #: call :meth:`mark_dirty` (the block kernels do)
+    _wc: Optional[int] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     # ------------------------------------------------------------------
+    def mark_dirty(self) -> None:
+        """Invalidate the cached word cost after an in-place trie edit."""
+        self._wc = None
+
     def child_ids(self) -> list[int]:
         return [
             n.mirror_child
@@ -68,7 +78,11 @@ class DataBlock:
 
     def word_cost(self) -> int:
         """Words to ship this block CPU<->PIM (its compressed size + O(1))."""
-        return 3 + self.trie.word_cost()
+        if fastpath.ENABLED and self._wc is not None:
+            return self._wc
+        wc = 3 + self.trie.word_cost()
+        self._wc = wc
+        return wc
 
     def size_words(self) -> int:
         return self.word_cost()

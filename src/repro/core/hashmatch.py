@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Iterable, Optional
 
+from .. import fastpath
 from ..bits import BitString, HashValue, IncrementalHasher, MERSENNE_61
 from ..fasttrie import ZFastTrie
 from ..trie import PatriciaTrie, TrieEdge, TrieNode
@@ -64,19 +65,50 @@ class _Family:
     experiment E9).
     """
 
-    __slots__ = ("members", "zfast", "dirty")
+    __slots__ = ("members", "zfast", "dirty", "_scan", "_chain")
 
     def __init__(self):
         self.members: dict[BitString, MetaRecord] = {}
         self.zfast = ZFastTrie()
         self.dirty = True
+        #: fast-path lookup list: (length, value, record) sorted by
+        #: descending length; None when stale
+        self._scan: Optional[list[tuple[int, int, MetaRecord]]] = None
+        #: fast-path redo chain: member -> its deepest proper-prefix
+        #: member (None when stale)
+        self._chain: Optional[dict[BitString, Optional[MetaRecord]]] = None
 
     def ensure(self) -> None:
         if self.dirty:
             self.zfast.bulk_build({s: None for s in self.members})
             self.dirty = False
 
+    def _scan_list(self) -> list[tuple[int, int, MetaRecord]]:
+        scan = self._scan
+        if scan is None:
+            scan = sorted(
+                ((len(s), s.value, r) for s, r in self.members.items()),
+                key=lambda t: t[0],
+                reverse=True,
+            )
+            self._scan = scan
+        return scan
+
     def deepest_prefix(self, q: BitString) -> Optional[MetaRecord]:
+        """Deepest member that is a prefix of ``q`` (members are < w
+        bits, so the answer fits one probe structure per family)."""
+        if fastpath.ENABLED:
+            # members are < w-bit strings: a length-descending scan with
+            # machine-int prefix tests returns the same answer as the
+            # z-fast probe sequence with a far smaller constant (the
+            # accounted O(log w) probe cost is charged by the caller
+            # identically in both modes)
+            qlen = len(q)
+            qv = q.value
+            for ln, val, rec in self._scan_list():
+                if ln <= qlen and (qv >> (qlen - ln)) == val:
+                    return rec
+            return None
         self.ensure()
         got = self.zfast.lookup_deepest_prefix(q)
         return self.members.get(got) if got is not None else None
@@ -84,6 +116,31 @@ class _Family:
     def next_shallower(self, s: BitString) -> Optional[MetaRecord]:
         """Deepest member that is a proper prefix of ``s`` (redo path)."""
         if len(s) == 0:
+            return None
+        if fastpath.ENABLED:
+            # the redo loop always asks about members, and the answer is
+            # a pure function of the member set — precompute the chain
+            # once per family version instead of rescanning per step
+            chain = self._chain
+            if chain is None:
+                scan = self._scan_list()
+                chain = {}
+                for i, (ln, val, rec) in enumerate(scan):
+                    nxt = None
+                    for lj, vj, rj in scan[i + 1 :]:
+                        if lj < ln and (val >> (ln - lj)) == vj:
+                            nxt = rj
+                            break
+                    chain[rec.s_rem] = nxt
+                self._chain = chain
+            if s in chain:
+                return chain[s]
+            # non-member query: fall back to the scan
+            qlen = len(s) - 1
+            qv = s.value >> 1
+            for ln, val, rec in self._scan_list():
+                if ln <= qlen and (qv >> (qlen - ln)) == val:
+                    return rec
             return None
         return self.deepest_prefix(s.prefix(len(s) - 1))
 
@@ -113,6 +170,8 @@ class RecordTable:
             self.layer2[rec.s_pre_fp] = fam
         fam.members[rec.s_rem] = rec
         fam.dirty = True
+        fam._scan = None
+        fam._chain = None
 
     def remove(self, rec: MetaRecord) -> None:
         self.by_id.pop(rec.block_id, None)
@@ -127,6 +186,8 @@ class RecordTable:
             if cur is not None and cur.block_id == rec.block_id:
                 del fam.members[rec.s_rem]
                 fam.dirty = True
+                fam._scan = None
+                fam._chain = None
             if not fam.members:
                 del self.layer2[rec.s_pre_fp]
 
@@ -248,18 +309,17 @@ def _match_edge(
 ) -> Optional[MatchCut]:
     """Deepest record hit on ``edge`` (positions (src, dst], fragment
     coordinates), or None."""
+    if use_pivots:
+        return _match_edge_pivot(
+            frag, edge, table, hasher, frag_strings,
+            verify=verify, tick=tick, log=log, exclude=exclude,
+        )
     src = edge.src
     assert src is not None
     dst = edge.dst
     base_depth = frag.base_depth
     src_abs = base_depth + src.depth
     dst_abs = base_depth + dst.depth
-
-    if use_pivots:
-        return _match_edge_pivot(
-            frag, edge, table, hasher, frag_strings,
-            verify=verify, tick=tick, log=log, exclude=exclude,
-        )
 
     # --- naive Algorithm 3: probe every position bottom-up -------------
     # compute prefix digests along the edge incrementally (top-down),
@@ -274,8 +334,12 @@ def _match_edge(
         length += 1
         digests.append(HashValue(digest, length))
     tick(max(1, len(label) // 64 + len(label)))
+    # the scan probes (almost) every position on a miss-dominated edge,
+    # so fingerprinting the whole edge in one batch call wins; the per-
+    # position tick stays inside the loop for exact work parity
+    fps = hasher.fingerprint_batch(digests) if fastpath.ENABLED else None
     for i in range(len(label) - 1, -1, -1):
-        fp = hasher.fingerprint(digests[i])
+        fp = fps[i] if fps is not None else hasher.fingerprint(digests[i])
         tick(1)
         recs = table.by_fp.get(fp)
         if not recs:
@@ -330,15 +394,26 @@ def _match_edge_pivot(
     # candidate pivots hosting this edge: the pivot at/above src, plus
     # every w-multiple inside (src_abs, dst_abs]
     top_pivot = max((src_abs // w) * w, anchor)
-    pivots = list(range(top_pivot, dst_abs + 1, w))
+    pivots = range(top_pivot, dst_abs + 1, w)
     positions = [p - anchor for p in pivots]
-    pivot_hashes = hasher.prefix_hashes(ext_path, positions)
-    tick(max(1, len(edge.label) // w + len(pivots)))
+    tick(max(1, len(edge.label) // w + len(positions)))
     hits: list[tuple[int, int]] = []  # (pivot_depth, s_pre_fp)
-    for p, hv in zip(pivots, pivot_hashes):
-        fp = hasher.fingerprint(hasher.combine(frag.base_pre_hash, hv))
-        if fp in table.layer2:
-            hits.append((p, fp))
+    if fastpath.ENABLED:
+        # fused prefix-hash + combine + fingerprint: one pass over the
+        # edge, no intermediate HashValue allocations
+        fps = hasher.pivot_fingerprints(
+            frag.base_pre_hash, ext_path, positions
+        )
+        layer2 = table.layer2
+        for p, fp in zip(pivots, fps):
+            if fp in layer2:
+                hits.append((p, fp))
+    else:
+        pivot_hashes = hasher.prefix_hashes(ext_path, positions)
+        for p, hv in zip(pivots, pivot_hashes):
+            fp = hasher.fingerprint(hasher.combine(frag.base_pre_hash, hv))
+            if fp in table.layer2:
+                hits.append((p, fp))
     if not hits:
         return None
     # deepest hit pivot first = critical pivot; gather S'_rem below it

@@ -29,6 +29,7 @@ import itertools
 from dataclasses import dataclass, field, replace
 from typing import Iterable, Optional
 
+from .. import fastpath
 from ..bits import BitString, HashValue, IncrementalHasher
 from ..fasttrie import ValidityIndex
 from .config import PIMTrieConfig
@@ -117,9 +118,14 @@ class MetaPiece:
         self.child_roots: dict[int, int] = {}
         #: the block whose record roots this piece's component
         self.root_block: Optional[int] = None
+        #: bumped on every record mutation; derived caches (word cost,
+        #: per-piece match tables) key on it for invalidation
+        self.version = 0
+        self._wc_cache: Optional[tuple[int, int]] = None  # (version, cost)
 
     # ------------------------------------------------------------------
     def add_record(self, rec: MetaRecord, *, owned: bool) -> None:
+        self.version += 1
         if owned:
             self.owned[rec.block_id] = rec
         if rec.block_id in self.table:
@@ -138,6 +144,7 @@ class MetaPiece:
         members[rec.s_rem] = rec.block_id
 
     def remove_record(self, block_id: int, *, keep_owned: bool = False) -> None:
+        self.version += 1
         rec = self.table.pop(block_id, None)
         if not keep_owned:
             self.owned.pop(block_id, None)
@@ -168,8 +175,18 @@ class MetaPiece:
         return len(self.table)
 
     def word_cost(self) -> int:
-        """Shipping cost of the whole piece (pull rounds)."""
-        return 1 + sum(r.word_cost() for r in self.table.values())
+        """Shipping cost of the whole piece (pull rounds).
+
+        Cached keyed on :attr:`version`: pull rounds re-cost the same
+        unmodified piece on every query batch.
+        """
+        if fastpath.ENABLED:
+            cached = self._wc_cache
+            if cached is not None and cached[0] == self.version:
+                return cached[1]
+        wc = 1 + sum(r.word_cost() for r in self.table.values())
+        self._wc_cache = (self.version, wc)
+        return wc
 
     def __repr__(self) -> str:
         return (

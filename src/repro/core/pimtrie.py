@@ -24,8 +24,10 @@ from collections import defaultdict
 from dataclasses import dataclass, field, replace
 from typing import Any, Iterable, Optional, Sequence
 
+from .. import fastpath
 from ..bits import BitString, IncrementalHasher
 from ..pim import ModuleContext, PIMSystem
+from ..pim.system import default_word_cost
 from ..trie import PatriciaTrie, TrieNode, build_query_trie, partition_weighted, rootfix
 from .blocks import DataBlock, extract_blocks
 from .config import PIMTrieConfig
@@ -91,9 +93,14 @@ class _MasterDelta:
     add: list[tuple[MetaRecord, int]]  # (record, root piece id)
     remove: list[int]  # block ids
     full: bool = False  # replace the table wholesale
+    _wc: Optional[int] = field(default=None, init=False, repr=False, compare=False)
 
     def word_cost(self) -> int:
-        return max(1, 6 * len(self.add) + len(self.remove))
+        if fastpath.ENABLED and self._wc is not None:
+            return self._wc
+        wc = max(1, 6 * len(self.add) + len(self.remove))
+        self._wc = wc
+        return wc
 
 
 @dataclass
@@ -103,6 +110,7 @@ class _FragMatch:
     piece_id: int = 0
 
     def word_cost(self) -> int:
+        # the fragment itself caches its trie walk
         return self.frag.word_cost()
 
 
@@ -112,15 +120,19 @@ class _BlockOp:
     block_id: int
     frag: Optional[QueryFragment] = None
     payload: Any = None
+    #: messages are immutable once enqueued for a round, so the payload
+    #: walk is computed once (lazily, to keep construction free)
+    _wc: Optional[int] = field(default=None, init=False, repr=False, compare=False)
 
     def word_cost(self) -> int:
+        if fastpath.ENABLED and self._wc is not None:
+            return self._wc
         cost = 2
         if self.frag is not None:
             cost += self.frag.word_cost()
         if self.payload is not None:
-            from ..pim.system import default_word_cost
-
             cost += default_word_cost(self.payload)
+        self._wc = cost
         return cost
 
 
@@ -129,13 +141,15 @@ class _PieceOp:
     op: str
     piece_id: int
     payload: Any = None
+    _wc: Optional[int] = field(default=None, init=False, repr=False, compare=False)
 
     def word_cost(self) -> int:
+        if fastpath.ENABLED and self._wc is not None:
+            return self._wc
         cost = 2
         if self.payload is not None:
-            from ..pim.system import default_word_cost
-
             cost += default_word_cost(self.payload)
+        self._wc = cost
         return cost
 
 
@@ -254,7 +268,18 @@ class PIMTrie:
                     )
                 else:
                     piece: MetaPiece = ctx.scratch["pieces"][r.piece_id]
-                    table = RecordTable(piece.table.values(), w)
+                    # the derived lookup table is a function of the
+                    # piece's record set; key the cached build on the
+                    # piece version so record mutations invalidate it.
+                    # The tick models O(1) table addressing either way.
+                    table = None
+                    if fastpath.ENABLED:
+                        cached = getattr(piece, "_match_cache", None)
+                        if cached is not None and cached[0] == piece.version:
+                            table = cached[1]
+                    if table is None:
+                        table = RecordTable(piece.table.values(), w)
+                        piece._match_cache = (piece.version, table)
                     ctx.tick(1)
                     cuts = hash_match_fragment(
                         r.frag, table, hasher,
@@ -340,6 +365,7 @@ class PIMTrie:
                     for key, value in r.payload:
                         blk.trie.insert(key, value)
                         ctx.tick(max(1, len(key) // 64 + 1))
+                    blk.mark_dirty()
                     out.append((blk.block_id, blk.trie.num_keys, blk.word_cost()))
                 elif r.op == "delete":
                     assert blk is not None
@@ -348,6 +374,7 @@ class PIMTrie:
                         if blk.trie.delete(key):
                             removed += 1
                         ctx.tick(max(1, len(key) // 64 + 1))
+                    blk.mark_dirty()
                     out.append(
                         (blk.block_id, blk.trie.num_keys, blk.word_cost(), removed)
                     )
@@ -375,6 +402,7 @@ class PIMTrie:
                 elif r.op == "drop_mirror":
                     assert blk is not None
                     removed_m = _remove_mirror(blk.trie, r.payload)
+                    blk.mark_dirty()
                     ctx.tick(4)
                     out.append(removed_m)
                 elif r.op == "set_parent":

@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from .. import fastpath
 from ..bits import BitString, HashValue, IncrementalHasher
 from ..trie import HiddenNodeRef, PatriciaTrie, TrieEdge, TrieNode
 
@@ -85,14 +86,24 @@ class QueryFragment:
         self.base_pre_hash = (
             base_pre_hash if base_pre_hash is not None else base_hash
         )
+        self._wc: Optional[int] = None
 
     @property
     def aligned_base_depth(self) -> int:
         return self.base_depth - len(self.base_rem)
 
     def word_cost(self) -> int:
-        """Compressed size + O(1) metadata, the cost Algorithm 2 charges."""
-        return 3 + self.trie.word_cost()
+        """Compressed size + O(1) metadata, the cost Algorithm 2 charges.
+
+        The fragment trie is frozen after Span (``_respan`` rebases only
+        the ``base_*`` anchor fields, never the trie), so the full-trie
+        walk is cached after the first call.
+        """
+        if fastpath.ENABLED and self._wc is not None:
+            return self._wc
+        wc = 3 + self.trie.word_cost()
+        self._wc = wc
+        return wc
 
     def size_words(self) -> int:
         return self.word_cost()
@@ -222,17 +233,39 @@ def span_fragments(
         if prev is None or pos.back < prev.back:
             by_node[pos.node.uid] = pos
     kept = list(by_node.values())
+    # The per-fragment stop set is "every other kept cut strictly below
+    # this one".  After per-node dedup, depth filtering is redundant for
+    # subtree clones: a kept cut q with q.node a strict descendant of
+    # pos.node always has q.depth > pos.depth (q.back stays inside
+    # q.node's entering edge, so q.depth > q.node.parent.depth >=
+    # pos.node.depth >= pos.depth), and uids outside pos's subtree are
+    # never consulted by _clone_from.  So one shared stop dict works for
+    # all fragments — we only pop the fragment's own entry while cloning
+    # (its cut is the clone's base, not a cut inside it).  The fallback
+    # branch keeps the original per-fragment dictcomp, which is O(k) per
+    # fragment and dominated large-batch Span wall-clock.
+    stop_all: Optional[dict[int, int]] = None
+    if fastpath.ENABLED:
+        stop_all = {p.node.uid: p.back for p in kept}
     out: list[QueryFragment] = []
     for pos in kept:
         node_string = strings[pos.node.uid]
         base_string = node_string.prefix(len(node_string) - pos.back)
-        # children cuts: every other kept cut strictly below this one
-        child_stop = {
-            p.node.uid: p.back
-            for p in kept
-            if p is not pos and p.depth > pos.depth
-        }
-        clone, mapping = _clone_from(pos.node, pos.back, child_stop)
+        if stop_all is not None:
+            uid = pos.node.uid
+            own_back = stop_all.pop(uid)
+            try:
+                clone, mapping = _clone_from(pos.node, pos.back, stop_all)
+            finally:
+                stop_all[uid] = own_back
+        else:
+            # children cuts: every other kept cut strictly below this one
+            child_stop = {
+                p.node.uid: p.back
+                for p in kept
+                if p is not pos and p.depth > pos.depth
+            }
+            clone, mapping = _clone_from(pos.node, pos.back, child_stop)
         pre_len = (len(base_string) // w) * w
         out.append(
             QueryFragment(

@@ -1,0 +1,48 @@
+"""Global switch for the simulator's wall-clock fast path.
+
+The fast path changes *how fast* the simulator runs, never *what it
+counts*: cached word costs, the type-dispatch cache in
+:func:`repro.pim.system.default_word_cost`, the linear ``Span``
+implementation, per-piece match-table caching, and batch fingerprinting
+all produce bit-identical PIM Model metrics (IO rounds, IO time,
+communication, PIM time) to the unoptimized reference path.  That
+equivalence is what the metric-parity tests and the wall-clock harness
+(:mod:`repro.perf`) assert.
+
+``ENABLED`` defaults to True.  The harness flips it off via
+:func:`disabled` to measure the pre-optimization baseline and to prove
+parity; tests use the same context manager.  The flag is process-global
+(the simulator is single-threaded by construction).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["ENABLED", "enable", "is_enabled", "disabled"]
+
+#: Whether hot-loop caches and fast algorithms are active.
+ENABLED: bool = True
+
+
+def enable(flag: bool = True) -> None:
+    """Turn the fast path on or off globally."""
+    global ENABLED
+    ENABLED = bool(flag)
+
+
+def is_enabled() -> bool:
+    return ENABLED
+
+
+@contextmanager
+def disabled() -> Iterator[None]:
+    """Run a block on the unoptimized reference path (baseline mode)."""
+    global ENABLED
+    prev = ENABLED
+    ENABLED = False
+    try:
+        yield
+    finally:
+        ENABLED = prev

@@ -24,21 +24,27 @@ from typing import Any, Callable, Mapping, Optional, Sequence
 
 import numpy as np
 
+from .. import fastpath
 from .metrics import MetricsCollector, MetricsSnapshot
 from .module import ModuleContext, PIMModule
 
-__all__ = ["PIMSystem", "default_word_cost"]
+__all__ = ["PIMSystem", "default_word_cost", "reflective_word_cost"]
 
 Kernel = Callable[[ModuleContext, list], list]
 
 
-def default_word_cost(obj: Any) -> int:
+def reflective_word_cost(obj: Any) -> int:
     """Cost, in machine words, of shipping ``obj`` between CPU and PIM.
 
     Mirrors the paper's accounting: an l-bit string costs ceil(l/w)
     words (at least 1 for non-payload framing), a hash value or scalar
     costs 1 word, and containers cost the sum of their elements.
     Objects may declare their own cost via a ``word_cost()`` method.
+
+    This is the uncached reference implementation: it re-resolves the
+    dispatch for every object.  :func:`default_word_cost` computes the
+    same values through a per-type dispatch cache; the two are kept in
+    lockstep by the metric-parity tests.
     """
     if obj is None or isinstance(obj, (bool, int, float)):
         return 1
@@ -53,17 +59,84 @@ def default_word_cost(obj: Any) -> int:
         return max(1, -(-obj.nbytes // 8))
     if isinstance(obj, Mapping):
         return sum(
-            default_word_cost(k) + default_word_cost(v) for k, v in obj.items()
+            reflective_word_cost(k) + reflective_word_cost(v)
+            for k, v in obj.items()
         ) or 1
     if isinstance(obj, (list, tuple, set, frozenset)):
-        return sum(default_word_cost(x) for x in obj) or 1
+        return sum(reflective_word_cost(x) for x in obj) or 1
     # dataclass-ish fallback: sum of public attribute costs
     d = getattr(obj, "__dict__", None)
     if d is None and hasattr(obj, "__slots__"):
         d = {s: getattr(obj, s) for s in obj.__slots__ if hasattr(obj, s)}
     if d:
-        return sum(default_word_cost(v) for v in d.values()) or 1
+        return sum(reflective_word_cost(v) for v in d.values()) or 1
     return 1
+
+
+# Per-type dispatch kinds for the fast path.  Dispatch depends only on
+# the type (scalar-ness, presence of a word_cost method, container
+# protocol), so resolving it once per type is exact.
+_WC_SCALAR, _WC_METHOD, _WC_STR, _WC_BYTES = 0, 1, 2, 3
+_WC_NDARRAY, _WC_MAPPING, _WC_SEQ, _WC_REFLECT = 4, 5, 6, 7
+
+_wc_kind_cache: dict[type, int] = {}
+
+
+def _wc_resolve(t: type) -> int:
+    if t is type(None) or issubclass(t, (bool, int, float)):
+        kind = _WC_SCALAR
+    elif getattr(t, "word_cost", None) is not None:
+        kind = _WC_METHOD
+    elif issubclass(t, str):
+        kind = _WC_STR
+    elif issubclass(t, bytes):
+        kind = _WC_BYTES
+    elif issubclass(t, np.ndarray):
+        kind = _WC_NDARRAY
+    elif issubclass(t, Mapping):
+        kind = _WC_MAPPING
+    elif issubclass(t, (list, tuple, set, frozenset)):
+        kind = _WC_SEQ
+    else:
+        kind = _WC_REFLECT
+    _wc_kind_cache[t] = kind
+    return kind
+
+
+def default_word_cost(obj: Any) -> int:
+    """:func:`reflective_word_cost` with a per-type dispatch cache.
+
+    Message word-costing runs for every request and reply of every BSP
+    round, so the repeated isinstance/getattr resolution of the
+    reference implementation dominated simulator wall-clock.  The fast
+    path memoizes the dispatch decision per concrete type (``word_cost``
+    must be a method, not an instance attribute — true of every message
+    type in the repo).  With :mod:`repro.fastpath` disabled it defers to
+    the reference implementation wholesale.
+    """
+    if not fastpath.ENABLED:
+        return reflective_word_cost(obj)
+    t = obj.__class__
+    kind = _wc_kind_cache.get(t)
+    if kind is None:
+        kind = _wc_resolve(t)
+    if kind == _WC_SCALAR:
+        return 1
+    if kind == _WC_METHOD:
+        return int(obj.word_cost())
+    if kind == _WC_STR:
+        return max(1, -(-len(obj) * 8 // 64))
+    if kind == _WC_BYTES:
+        return max(1, -(-len(obj) // 8))
+    if kind == _WC_NDARRAY:
+        return max(1, -(-obj.nbytes // 8))
+    if kind == _WC_MAPPING:
+        return sum(
+            default_word_cost(k) + default_word_cost(v) for k, v in obj.items()
+        ) or 1
+    if kind == _WC_SEQ:
+        return sum(default_word_cost(x) for x in obj) or 1
+    return reflective_word_cost(obj)
 
 
 class PIMSystem:
@@ -102,7 +175,16 @@ class PIMSystem:
     # kernel registry ("the host CPU can load programs to PIM modules")
     # ------------------------------------------------------------------
     def register_kernel(self, name: str, fn: Kernel) -> None:
-        if name in self._kernels and self._kernels[name] is not fn:
+        """Register ``fn`` under ``name``.
+
+        Re-registering the *same* function object under its existing
+        name is a no-op (idempotent loading, e.g. a PIMTrie re-running
+        its kernel setup); registering a *different* function under a
+        taken name raises.
+        """
+        if name in self._kernels:
+            if self._kernels[name] is fn:
+                return
             raise ValueError(f"kernel {name!r} already registered")
         self._kernels[name] = fn
 
@@ -148,19 +230,26 @@ class PIMSystem:
         kernel_work = [0] * self.num_modules
         replies: dict[int, list] = {}
 
+        wc = self.word_cost
+        copy_requests = not fastpath.ENABLED
         for mid, reqs in requests.items():
+            # validate even for empty request lists: a bad module id is a
+            # programming error whether or not anything ships this round
             if not 0 <= mid < self.num_modules:
                 raise IndexError(f"module id {mid} out of range")
             if not reqs:
                 continue
-            words_to[mid] += sum(self.word_cost(r) for r in reqs)
+            words_to[mid] += sum(map(wc, reqs))
             ctx = self.modules[mid].context
             work_before = ctx.work
-            out = fn(ctx, list(reqs))
+            # the fast path hands the kernel the caller's list directly;
+            # kernels are simulator-internal and must not mutate their
+            # request batch (the reference path keeps the defensive copy)
+            out = fn(ctx, list(reqs) if copy_requests else reqs)
             if out is None:
                 out = []
             kernel_work[mid] = ctx.work - work_before
-            words_from[mid] += sum(self.word_cost(r) for r in out)
+            words_from[mid] += sum(map(wc, out))
             replies[mid] = out
 
         self.metrics.record_round(words_to, words_from, kernel_work)

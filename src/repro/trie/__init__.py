@@ -2,6 +2,7 @@
 
 from .construction import (
     adjacent_lcp_array,
+    argsort,
     build_query_trie,
     patricia_from_sorted,
     sort_bitstrings,
@@ -19,6 +20,7 @@ from .patricia import MatchResult, PatriciaTrie
 
 __all__ = [
     "adjacent_lcp_array",
+    "argsort",
     "build_query_trie",
     "patricia_from_sorted",
     "sort_bitstrings",

@@ -23,11 +23,21 @@ from .nodes import TrieEdge, TrieNode
 from .patricia import PatriciaTrie
 
 __all__ = [
+    "argsort",
     "sort_bitstrings",
     "adjacent_lcp_array",
     "patricia_from_sorted",
     "build_query_trie",
 ]
+
+
+def argsort(seq: Sequence[Any]) -> list[int]:
+    """Indices that sort ``seq`` (stable, using the elements' own order).
+
+    For bit-strings this is trie order: a proper prefix sorts before any
+    of its extensions (see :meth:`BitString.__lt__`).
+    """
+    return sorted(range(len(seq)), key=seq.__getitem__)
 
 
 def sort_bitstrings(strings: Iterable[BitString]) -> list[BitString]:
@@ -144,15 +154,13 @@ def build_query_trie(
     Duplicate keys in the batch are collapsed (first value wins), as the
     query trie has one node per distinct key.
     """
+    order = argsort(batch)
+    ss = [batch[i] for i in order]
     if values is None:
-        order = sorted(range(len(batch)), key=lambda i: batch[i])
-        ss = [batch[i] for i in order]
-        vv = [None] * len(ss)
+        vv: list[Any] = [None] * len(ss)
     else:
         if len(values) != len(batch):
             raise ValueError("values must align with batch")
-        order = sorted(range(len(batch)), key=lambda i: batch[i])
-        ss = [batch[i] for i in order]
         vv = [values[i] for i in order]
     # drop exact duplicates (keep first occurrence in sorted order)
     dedup_s: list[BitString] = []

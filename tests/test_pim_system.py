@@ -38,6 +38,27 @@ class TestRounds:
         sys = PIMSystem(2)
         sys.register_kernel("echo", echo_kernel)
         assert sys.round("echo", {1: [5]}) == {1: [5]}
+
+    def test_register_same_fn_is_noop(self):
+        sys = PIMSystem(2)
+        sys.register_kernel("echo", echo_kernel)
+        sys.register_kernel("echo", echo_kernel)  # idempotent reload
+        assert sys.round("echo", {0: [1]}) == {0: [1]}
+
+    def test_register_different_fn_raises(self):
+        sys = PIMSystem(2)
+        sys.register_kernel("echo", echo_kernel)
+        with pytest.raises(ValueError, match="already registered"):
+            sys.register_kernel("echo", lambda ctx, reqs: reqs)
+
+    def test_bad_module_id_raises_even_with_empty_requests(self):
+        sys = PIMSystem(2)
+        with pytest.raises(IndexError):
+            sys.round(echo_kernel, {5: []})
+        with pytest.raises(IndexError):
+            sys.round(echo_kernel, {-3: []})
+        # nothing was accounted for the failed round
+        assert sys.snapshot().io_rounds == 0
         with pytest.raises(KeyError):
             sys.round("missing", {0: [1]})
 

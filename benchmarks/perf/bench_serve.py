@@ -1,0 +1,44 @@
+"""Serve-layer benchmark entry point (CI can run this with ``--smoke``).
+
+Sweeps arrival rate × batching policy × key skew through the
+continuous-batching service layer (`repro.serve`) and writes
+``BENCH_serve.json``: latency percentiles (simulated units and IO
+rounds), throughput, IO rounds per op, batch occupancy, queue depth,
+and the PIM Model metrics with per-module balance arrays — plus the
+measured batching trade-off (a larger max-wait deadline buys IO-round
+amortization at the cost of tail latency).  All logic lives in
+:mod:`repro.serve.bench`:
+
+    PYTHONPATH=src python benchmarks/perf/bench_serve.py [--smoke]
+
+Not a pytest module: it defines no test functions and only runs under
+``__main__``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def main(argv: list[str] | None = None) -> int:
+    from repro.serve.bench import run_bench_serve
+
+    parser = argparse.ArgumentParser(
+        prog="bench_serve",
+        description="Continuous-batching service sweep "
+        "(rate x policy x skew, writes BENCH_serve.json)",
+    )
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized subset (~seconds)")
+    parser.add_argument("--out", default="BENCH_serve.json",
+                        help="output JSON path (default: %(default)s)")
+    args = parser.parse_args(argv)
+    report = run_bench_serve(out=args.out, smoke=args.smoke)
+    ok = report["tradeoff_shown_everywhere"]
+    print(f"batching trade-off shown on every (rate, skew): {ok}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

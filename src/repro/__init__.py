@@ -15,8 +15,9 @@ from . import fastpath
 from .bits import BitString, HashValue, IncrementalHasher
 from .core import MatchOutcome, PIMTrie, PIMTrieConfig
 from .pim import MetricsSnapshot, PIMSystem
+from . import serve
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "BitString",
@@ -28,5 +29,6 @@ __all__ = [
     "MetricsSnapshot",
     "PIMSystem",
     "fastpath",
+    "serve",
     "__version__",
 ]

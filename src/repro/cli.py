@@ -10,11 +10,13 @@ reproduce, without pytest:
 * ``python -m repro bench-all``           — all of the above
 
 * ``python -m repro perf [--smoke]``      — wall-clock harness (BENCH_wallclock.json)
+* ``python -m repro serve [--smoke]``     — online service simulation
+  (continuous batching over a timestamped trace, latency percentiles)
 
 All numbers are PIM Model counts from the simulator (IO rounds, words,
 per-module balance), not wall-clock times — except ``perf``, which
 times the simulator itself (fast path vs baseline, with a
-metric-parity proof).
+metric-parity proof), and the wall-clock section of ``serve``.
 """
 
 from __future__ import annotations
@@ -142,6 +144,40 @@ def cmd_perf(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from .perf import reset_id_counters
+    from .serve import EpochServer, make_trace, policy_from_name
+
+    if args.smoke:
+        P, resident, n_ops, length, rate = 8, 192, 160, 64, 0.25
+    else:
+        P, resident, n_ops, length, rate = (
+            args.p, args.resident, args.n, args.length, args.rate
+        )
+    reset_id_counters()
+    system = PIMSystem(P, seed=1)
+    keys = uniform_keys(resident, length, seed=args.seed + 1)
+    trie = PIMTrie(
+        system, PIMTrieConfig(num_modules=P), keys=keys, values=keys
+    )
+    trace = make_trace(
+        n_ops, length=length, arrival=args.arrival, rate=rate,
+        skew=args.skew, seed=args.seed,
+    )
+    policy = policy_from_name(
+        args.policy, max_batch=args.max_batch,
+        queue_capacity=args.queue_capacity,
+    )
+    server = EpochServer(trie, policy)
+    report = server.run(trace)
+    print(f"serve — continuous batching over PIM-trie (P={P}, "
+          f"{resident} resident keys, {n_ops} ops)\n")
+    # the smoke output is byte-deterministic for a fixed seed: print
+    # only simulated quantities (wall-clock varies run to run)
+    print(report.format_summary(deterministic_only=args.smoke))
+    return 0
+
+
 def cmd_bench_all(args: argparse.Namespace) -> int:
     rc = 0
     for fn in (cmd_demo, cmd_table1, cmd_skew, cmd_scaling):
@@ -178,6 +214,29 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--smoke", action="store_true")
     p.add_argument("--out", default="BENCH_wallclock.json")
     p.add_argument("--reps", type=int, default=None)
+    p = sub.add_parser(
+        "serve", help="online service simulation (continuous batching)"
+    )
+    p.set_defaults(fn=cmd_serve)
+    p.add_argument("--smoke", action="store_true",
+                   help="small deterministic run (fixed P/n/rate)")
+    p.add_argument("--p", type=int, default=16)
+    p.add_argument("--resident", type=int, default=1024,
+                   help="resident keys built before the trace")
+    p.add_argument("--n", type=int, default=1024, help="trace length (ops)")
+    p.add_argument("--length", type=int, default=64, help="key length (bits)")
+    p.add_argument("--rate", type=float, default=0.25,
+                   help="mean arrivals per simulated time unit")
+    p.add_argument("--arrival", choices=("poisson", "burst"),
+                   default="poisson")
+    p.add_argument("--skew", choices=("uniform", "zipf", "flood"),
+                   default="uniform")
+    p.add_argument("--policy", default="deadline:20",
+                   help="eager | deadline:<max_wait> | affinity[:<max_wait>]")
+    p.add_argument("--max-batch", type=int, default=256)
+    p.add_argument("--queue-capacity", type=int, default=None,
+                   help="bounded admission (rejects arrivals when full)")
+    p.add_argument("--seed", type=int, default=7)
     args = parser.parse_args(argv)
     return args.fn(args)
 

@@ -1177,12 +1177,16 @@ class PIMTrie:
         outcome = self.match_batch(qt)
         folded = self._fold_keys(qt, outcome)
         by_block: dict[int, list[tuple[BitString, Any]]] = defaultdict(list)
-        seen: set[BitString] = set()
-        new_keys = 0
+        # duplicate keys within a batch follow sequential semantics: the
+        # last write wins, exactly as if the ops were applied one by one
+        # (and therefore invariant under splitting a batch in two, which
+        # the serve layer's epoch boundaries do).  dict order keeps the
+        # iteration — and thus every placement draw — deterministic.
+        latest: dict[BitString, Any] = {}
         for key, value in zip(keys, vals):
-            if key in seen:
-                continue
-            seen.add(key)
+            latest[key] = value
+        new_keys = 0
+        for key, value in latest.items():
             depth, block, exact, _old = folded[key]
             rel = key.suffix_from(self.block_depth[block])
             by_block[block].append((rel, value))

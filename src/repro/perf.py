@@ -27,7 +27,7 @@ Determinism note: trie-node, block, and meta-piece uids come from
 process-global counters, and uid *values* feed set-iteration order in
 block extraction, which feeds the random-module placement draws.  Two
 in-process runs therefore only produce identical snapshots if the
-counters are reset first — :func:`_reset_id_counters` does exactly
+counters are reset first — :func:`reset_id_counters` does exactly
 that before every measured run.  (Within one run the simulation is
 fully deterministic given the PIMSystem seed.)
 """
@@ -52,7 +52,14 @@ from .pim import PIMSystem
 from .trie import nodes as _nodes
 from .workloads import single_range_flood, uniform_keys
 
-__all__ = ["bench_config", "run_bench", "main", "HEADLINE", "SMOKE"]
+__all__ = [
+    "bench_config",
+    "run_bench",
+    "main",
+    "reset_id_counters",
+    "HEADLINE",
+    "SMOKE",
+]
 
 #: The acceptance workload: batched ops at P=32, n=4096, l=256.
 HEADLINE = {"P": 32, "n": 4096, "l": 256}
@@ -61,8 +68,12 @@ HEADLINE = {"P": 32, "n": 4096, "l": 256}
 SMOKE = {"P": 8, "n": 512, "l": 64}
 
 
-def _reset_id_counters() -> None:
-    """Reset the process-global uid counters (see module docstring)."""
+def reset_id_counters() -> None:
+    """Reset the process-global uid counters (see module docstring).
+
+    Shared by every harness that needs run-to-run byte determinism in
+    one process (this module and the serve layer's smoke/bench).
+    """
     _nodes.TrieNode._next_uid = 0
     _blocks._block_ids = itertools.count(1)
     _meta._piece_ids = itertools.count(1)
@@ -78,7 +89,7 @@ def _run_phases(
     Returns ``(phases, snapshots, results)`` where ``snapshots`` and
     ``results`` are the parity evidence (compared fast vs baseline).
     """
-    _reset_id_counters()
+    reset_id_counters()
     keys = uniform_keys(n, l, seed=seed)
     queries = uniform_keys(n, l, seed=seed + 1)
     extra = uniform_keys(max(2, n // 2), l, seed=seed + 2)

@@ -100,8 +100,8 @@ class MetricsSnapshot:
         mean = t.mean()
         return float(t.max() / mean) if mean > 0 else 1.0
 
-    def as_dict(self) -> dict:
-        return {
+    def as_dict(self, *, include_per_module: bool = False) -> dict:
+        out = {
             "io_rounds": self.io_rounds,
             "io_time": self.io_time,
             "total_communication": self.total_communication,
@@ -111,6 +111,12 @@ class MetricsSnapshot:
             "traffic_imbalance": self.traffic_imbalance(),
             "work_imbalance": self.work_imbalance(),
         }
+        if include_per_module:
+            # full balance distributions (benchmarks record these so
+            # skew reports can show more than the max/mean ratio)
+            out["per_module_traffic"] = list(self.per_module_traffic)
+            out["per_module_work"] = list(self.per_module_work)
+        return out
 
 
 class MetricsCollector:

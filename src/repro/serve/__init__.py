@@ -1,0 +1,36 @@
+"""repro.serve — a continuous-batching index service over the PIM simulator.
+
+Turns the batch-library :class:`repro.PIMTrie` into a simulated online
+service: timestamped client operations (:mod:`~repro.serve.trace`)
+queue at a host frontend, a continuous-batching scheduler
+(:mod:`~repro.serve.scheduler`) coalesces them into mixed-op epochs
+under a pluggable policy, an epoch executor
+(:mod:`~repro.serve.server`) maps each epoch onto the existing batch
+APIs and demultiplexes replies, and a service-metrics layer
+(:mod:`~repro.serve.slo`) reports latency percentiles, throughput, and
+queue behaviour alongside the PIM Model counters.
+
+Entry points: ``python -m repro serve [--smoke]`` and
+``benchmarks/perf/bench_serve.py`` (→ ``BENCH_serve.json``).
+"""
+
+from .scheduler import ContinuousBatchingScheduler, SchedulerPolicy, policy_from_name
+from .server import EpochServer, replay_direct
+from .slo import CompletedOp, EpochRecord, ServiceReport, latency_stats, percentile
+from .trace import Operation, Trace, make_trace
+
+__all__ = [
+    "ContinuousBatchingScheduler",
+    "SchedulerPolicy",
+    "policy_from_name",
+    "EpochServer",
+    "replay_direct",
+    "CompletedOp",
+    "EpochRecord",
+    "ServiceReport",
+    "latency_stats",
+    "percentile",
+    "Operation",
+    "Trace",
+    "make_trace",
+]

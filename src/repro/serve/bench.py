@@ -1,0 +1,175 @@
+"""The serve-layer benchmark: arrival rate × batching policy × key skew.
+
+Writes ``BENCH_serve.json``.  Each sweep point builds a fresh resident
+index, generates a seeded online trace, replays it through
+:class:`EpochServer` under one scheduler policy, and records service
+metrics (latency percentiles, throughput, IO rounds per op, batch
+occupancy, queue depth) next to the PIM Model metrics — including the
+per-module traffic/work arrays, so the balance *distribution* under
+each policy is preserved, not just the max/mean ratio.
+
+The headline measurement is the batching trade-off: for every
+(rate, skew) pair the report compares the eager policy against a large
+max-wait deadline and records whether the deadline improved IO-round
+amortization (fewer rounds per op) while degrading tail latency
+(higher p99) — the continuous-batching bargain, measured on both the
+uniform and the adversarially skewed workload.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Optional
+
+from ..core import PIMTrie, PIMTrieConfig
+from ..perf import reset_id_counters
+from ..pim import PIMSystem
+from ..workloads import uniform_keys
+from .scheduler import policy_from_name
+from .server import EpochServer
+from .trace import make_trace
+
+__all__ = ["bench_point", "run_bench_serve"]
+
+#: Full sweep dimensions.  The rates sit below the single-op service
+#: rate (an op alone in an epoch costs a few simulated units), so the
+#: eager policy degenerates to tiny epochs and a max-wait deadline has
+#: real rounds to amortize — the regime where the batching trade-off
+#: is visible rather than swamped by queueing.
+RATES = (0.05, 0.25)
+SKEWS = ("uniform", "flood")
+POLICIES = ("eager", "deadline:20", "deadline:80", "affinity:80")
+#: The pair the trade-off is judged on.
+TRADEOFF_PAIR = ("eager", "deadline:80")
+#: One overload point per skew: arrivals outpace service capacity and a
+#: bounded queue sheds load (admission control / backpressure).
+OVERLOAD = {"rate": 1.0, "policy_spec": "deadline:20", "queue_capacity": 384}
+
+FULL = {"P": 16, "resident": 1024, "n_ops": 1536, "length": 64}
+SMOKE = {"P": 8, "resident": 192, "n_ops": 160, "length": 64, "rate": 0.25}
+
+
+def bench_point(
+    *,
+    P: int,
+    resident: int,
+    n_ops: int,
+    length: int,
+    rate: float,
+    skew: str,
+    policy_spec: str,
+    max_batch: int = 256,
+    queue_capacity: Optional[int] = None,
+    seed: int = 7,
+) -> dict[str, Any]:
+    """Run one (rate, skew, policy) sweep point on a fresh index."""
+    reset_id_counters()
+    system = PIMSystem(P, seed=1)
+    keys = uniform_keys(resident, length, seed=seed + 1)
+    trie = PIMTrie(
+        system, PIMTrieConfig(num_modules=P), keys=keys, values=keys
+    )
+    trace = make_trace(
+        n_ops, length=length, rate=rate, skew=skew, seed=seed,
+        name=f"{skew}-r{rate:g}",
+    )
+    policy = policy_from_name(
+        policy_spec, max_batch=max_batch, queue_capacity=queue_capacity
+    )
+    server = EpochServer(trie, policy)
+    report = server.run(trace)
+    out = report.as_dict(include_wall=True, include_per_module=True)
+    out.update({"P": P, "resident": resident, "rate": rate, "skew": skew,
+                "policy_spec": policy_spec, "seed": seed})
+    return out
+
+
+def run_bench_serve(
+    out: Optional[str] = "BENCH_serve.json",
+    smoke: bool = False,
+    quiet: bool = False,
+) -> dict[str, Any]:
+    """Run the sweep (or a smoke-sized subset) and write the report."""
+    cfg = SMOKE if smoke else FULL
+    rates = (cfg.get("rate", 0.25),) if smoke else RATES
+    skews = ("uniform", "flood") if not smoke else ("uniform",)
+    policies = TRADEOFF_PAIR if smoke else POLICIES
+    base = {k: cfg[k] for k in ("P", "resident", "n_ops", "length")}
+
+    def say(msg: str) -> None:
+        if not quiet:
+            print(msg, flush=True)
+
+    points: list[dict[str, Any]] = []
+    for skew in skews:
+        for rate in rates:
+            for spec in policies:
+                pt = bench_point(
+                    rate=rate, skew=skew, policy_spec=spec, **base
+                )
+                say(
+                    f"  {skew:<8} rate={rate:<4g} {spec:<12} "
+                    f"rounds/op {pt['rounds_per_op']:.3f}  "
+                    f"p99 {pt['latency']['p99']:.2f}  "
+                    f"occupancy {pt['occupancy']:.3f}"
+                )
+                points.append(pt)
+
+    # overload: arrivals outpace service capacity, the bounded queue
+    # sheds load, and the report records how many ops were rejected
+    overload: list[dict[str, Any]] = []
+    if not smoke:
+        for skew in skews:
+            pt = bench_point(
+                rate=OVERLOAD["rate"], skew=skew,
+                policy_spec=OVERLOAD["policy_spec"],
+                queue_capacity=OVERLOAD["queue_capacity"], **base,
+            )
+            say(
+                f"  {skew:<8} OVERLOAD rate={OVERLOAD['rate']:g} "
+                f"cap={OVERLOAD['queue_capacity']} "
+                f"dropped {pt['dropped']}/{pt['num_ops']}"
+            )
+            overload.append(pt)
+
+    # the batching trade-off, judged per (rate, skew)
+    tradeoffs: list[dict[str, Any]] = []
+    by_key = {
+        (p["skew"], p["rate"], p["policy_spec"]): p for p in points
+    }
+    for skew in skews:
+        for rate in rates:
+            eager = by_key.get((skew, rate, TRADEOFF_PAIR[0]))
+            slow = by_key.get((skew, rate, TRADEOFF_PAIR[1]))
+            if eager is None or slow is None:
+                continue
+            tradeoffs.append({
+                "skew": skew,
+                "rate": rate,
+                "policies": list(TRADEOFF_PAIR),
+                "rounds_per_op": [eager["rounds_per_op"], slow["rounds_per_op"]],
+                "p99_latency": [eager["latency"]["p99"], slow["latency"]["p99"]],
+                "amortization_improved":
+                    slow["rounds_per_op"] < eager["rounds_per_op"],
+                "tail_latency_degraded":
+                    slow["latency"]["p99"] > eager["latency"]["p99"],
+            })
+    report = {
+        "bench": "serve",
+        "command": "python benchmarks/perf/bench_serve.py"
+        + (" --smoke" if smoke else ""),
+        "smoke": smoke,
+        "config": cfg,
+        "points": points,
+        "overload": overload,
+        "tradeoffs": tradeoffs,
+        "tradeoff_shown_everywhere": all(
+            t["amortization_improved"] and t["tail_latency_degraded"]
+            for t in tradeoffs
+        ) and bool(tradeoffs),
+    }
+    if out:
+        Path(out).write_text(json.dumps(report, indent=2) + "\n")
+        say(f"wrote {out}")
+    return report

@@ -1,0 +1,226 @@
+"""Epoch executor: replay an online trace against a :class:`PIMTrie`.
+
+:class:`EpochServer` runs a discrete-event loop over a :class:`Trace`:
+arrivals join the scheduler's queue (subject to admission control),
+the policy decides when to cut an epoch, and each epoch is mapped onto
+the existing ``PIMTrie`` batch APIs.  Inside an epoch, ops are executed
+as *consecutive same-kind segments in arrival order* — LCP and Subtree
+segments call ``lcp_batch``/``subtree_batch``, Insert/Delete segments
+call ``insert_batch``/``delete_batch`` — so the server never reorders
+a read past a write.  Combined with the scheduler's prefix-only epoch
+cutting this yields the equivalence guarantee: replaying any trace
+through the server produces exactly the answers of applying the same
+ops directly to a ``PIMTrie`` in arrival order
+(:func:`replay_direct` is that reference implementation).
+
+**Service model.**  The simulated service time of an epoch is derived
+from the PIM Model metrics it actually consumed:
+
+    ``service = round_time * io_rounds + word_time * io_time``
+
+i.e. a fixed per-round overhead (CPU↔PIM latency) plus a per-word
+transfer cost on the round's critical path.  The defaults (1.0, 0.001)
+make the per-round term dominant at small batches — precisely the
+regime where coalescing more ops per epoch amortizes rounds, which is
+the trade-off the batching policies navigate.
+
+Replies are demultiplexed back to per-op :class:`CompletedOp` records
+stamped with launch/completion times and three latency readings
+(simulated units, IO rounds, wall-clock); see :mod:`repro.serve.slo`.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from typing import Any, Optional, Sequence
+
+from ..core import PIMTrie
+from ..pim import MetricsSnapshot
+from .scheduler import ContinuousBatchingScheduler, SchedulerPolicy
+from .slo import CompletedOp, EpochRecord, ServiceReport
+from .trace import Operation, Trace
+
+__all__ = ["EpochServer", "replay_direct"]
+
+
+def _segments(batch: Sequence[Operation]) -> list[tuple[str, list[Operation]]]:
+    """Split a batch into maximal consecutive same-kind runs."""
+    out: list[tuple[str, list[Operation]]] = []
+    for op in batch:
+        if out and out[-1][0] == op.kind:
+            out[-1][1].append(op)
+        else:
+            out.append((op.kind, [op]))
+    return out
+
+
+def _execute_segment(trie: PIMTrie, kind: str, ops: list[Operation]) -> list[Any]:
+    """Run one same-kind segment through the matching batch API."""
+    if kind == "lcp":
+        return trie.lcp_batch([o.key for o in ops])
+    if kind == "insert":
+        trie.insert_batch([o.key for o in ops], [o.value for o in ops])
+        return [True] * len(ops)
+    if kind == "delete":
+        trie.delete_batch([o.key for o in ops])
+        return [True] * len(ops)
+    if kind == "subtree":
+        return trie.subtree_batch([o.key for o in ops])
+    raise ValueError(f"unknown op kind {kind!r}")
+
+
+class EpochServer:
+    """Continuous-batching service frontend over one :class:`PIMTrie`."""
+
+    def __init__(
+        self,
+        trie: PIMTrie,
+        policy: SchedulerPolicy,
+        *,
+        round_time: float = 1.0,
+        word_time: float = 0.001,
+    ):
+        if round_time < 0 or word_time < 0:
+            raise ValueError("service-model coefficients must be >= 0")
+        self.trie = trie
+        self.system = trie.system
+        self.policy = policy
+        self.round_time = round_time
+        self.word_time = word_time
+
+    # ------------------------------------------------------------------
+    def service_time(self, delta: MetricsSnapshot) -> float:
+        """Simulated duration of an epoch from its PIM metrics delta."""
+        return self.round_time * delta.io_rounds + self.word_time * delta.io_time
+
+    # ------------------------------------------------------------------
+    def run(self, trace: Trace) -> ServiceReport:
+        """Drive the full event loop over ``trace``; returns the report."""
+        ops = trace.ops
+        n = len(ops)
+        policy = self.policy
+        sched = ContinuousBatchingScheduler(policy)
+
+        completed: list[CompletedOp] = []
+        epochs: list[EpochRecord] = []
+        rounds_at_admit: dict[int, int] = {}
+        wall_at_admit: dict[int, float] = {}
+        cum_rounds = 0
+        cum_wall = 0.0
+        free_at = 0.0  # when the server finishes its current epoch
+        i = 0  # next unprocessed arrival
+        before_all = self.system.snapshot()
+
+        def admit(op: Operation) -> None:
+            nonlocal i
+            if sched.admit(op):
+                rounds_at_admit[op.seq] = cum_rounds
+                wall_at_admit[op.seq] = cum_wall
+            i += 1
+
+        while i < n or sched.pending:
+            if not sched.pending:
+                # idle: jump the clock to the next arrival
+                admit(ops[i])
+                continue
+
+            head_t = sched.head_arrival()
+            earliest = max(free_at, head_t)
+            deadline = head_t + policy.max_wait
+            # decide the launch time, admitting the arrivals that land
+            # before it (in arrival order, so admission control sees the
+            # queue exactly as a client would)
+            while True:
+                if sched.full():
+                    launch = max(free_at, sched.fill_arrival())
+                    break
+                target = max(earliest, deadline)
+                if i < n and ops[i].time <= target:
+                    admit(ops[i])
+                    continue
+                if i < n:
+                    # no further arrival lands before the deadline
+                    launch = target
+                else:
+                    # stream exhausted: the queue may still hold ops
+                    # with future arrival times (admission is lazy), so
+                    # honor the deadline — but waiting past the last
+                    # queued arrival buys nothing
+                    launch = max(earliest, min(deadline, sched.pending[-1].time))
+                break
+            while i < n and ops[i].time <= launch:
+                admit(ops[i])
+
+            depth = len(sched.pending)
+            batch = sched.take_epoch(launch)
+            assert batch, "scheduler cut an empty epoch"
+
+            before = self.system.snapshot()
+            t0 = _time.perf_counter()
+            replies: list[Any] = []
+            kinds: list[str] = []
+            for kind, seg in _segments(batch):
+                kinds.append(kind)
+                replies.extend(_execute_segment(self.trie, kind, seg))
+            wall = _time.perf_counter() - t0
+            delta = self.system.snapshot().delta(before)
+
+            service = self.service_time(delta)
+            completion = launch + service
+            free_at = completion
+            cum_rounds += delta.io_rounds
+            cum_wall += wall
+            epochs.append(
+                EpochRecord(
+                    index=len(epochs), launch=launch, service=service,
+                    completion=completion, size=len(batch),
+                    kinds=tuple(kinds), queue_depth=depth,
+                    io_rounds=delta.io_rounds, io_time=delta.io_time,
+                    communication=delta.total_communication,
+                    pim_time=delta.pim_time, wall_seconds=wall,
+                )
+            )
+            for op, reply in zip(batch, replies):
+                completed.append(
+                    CompletedOp(
+                        seq=op.seq, client_id=op.client_id, kind=op.kind,
+                        arrival=op.time, launch=launch,
+                        completion=completion, epoch=len(epochs) - 1,
+                        reply=reply,
+                        latency_rounds=cum_rounds - rounds_at_admit[op.seq],
+                        wall_seconds=cum_wall - wall_at_admit[op.seq],
+                    )
+                )
+
+        metrics = self.system.snapshot().delta(before_all)
+        return ServiceReport(
+            policy=policy.describe(),
+            trace=trace.name,
+            num_ops=n,
+            completed=completed,
+            dropped=len(sched.dropped),
+            epochs=epochs,
+            metrics=metrics,
+            round_time=self.round_time,
+            word_time=self.word_time,
+            extra={"max_batch": policy.max_batch},
+        )
+
+
+# ----------------------------------------------------------------------
+def replay_direct(
+    trie: PIMTrie, ops: Sequence[Operation]
+) -> list[tuple[int, Any]]:
+    """Reference semantics: apply ``ops`` to ``trie`` in order.
+
+    Maximal same-kind runs are executed as single batch calls — the
+    finest batching that still respects arrival order.  Returns
+    ``(seq, reply)`` pairs; the equivalence tests assert the server
+    produces identical replies (and identical final index state) under
+    every scheduler policy.
+    """
+    out: list[tuple[int, Any]] = []
+    for kind, seg in _segments(list(ops)):
+        replies = _execute_segment(trie, kind, seg)
+        out.extend((op.seq, r) for op, r in zip(seg, replies))
+    return out

@@ -1,0 +1,202 @@
+"""Service-level metrics for the serve layer.
+
+Latency here is *queueing + service* delay on the simulated clock —
+the quantity a client of an online index experiences — reported three
+ways:
+
+* **simulated time units** — completion − arrival on the trace clock
+  (the unit the server's service model defines: by default one unit is
+  the per-round overhead of one IO round);
+* **IO rounds** — how many BSP rounds the system executed between the
+  op's admission and its completion (integer, exactly reproducible, and
+  directly comparable to the paper's O(log P) per-batch bounds);
+* **wall-clock seconds** — host-process execution time of the epochs
+  the op waited through (non-deterministic; excluded from the
+  byte-deterministic smoke output).
+
+All percentile math is nearest-rank on sorted values, so reports are
+deterministic given deterministic inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+from ..pim import MetricsSnapshot
+
+__all__ = ["percentile", "latency_stats", "CompletedOp", "EpochRecord", "ServiceReport"]
+
+PERCENTILES = (50, 95, 99)
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of ``values`` (q in [0, 100])."""
+    if not values:
+        return 0.0
+    s = sorted(values)
+    rank = max(1, -(-len(s) * q // 100))  # ceil(len * q / 100), min 1
+    return s[int(rank) - 1]
+
+
+def latency_stats(values: Sequence[float]) -> dict[str, float]:
+    """p50/p95/p99, mean, and max of a latency sample."""
+    if not values:
+        return {"p50": 0.0, "p95": 0.0, "p99": 0.0, "mean": 0.0, "max": 0.0}
+    out = {f"p{q}": percentile(values, q) for q in PERCENTILES}
+    out["mean"] = sum(values) / len(values)
+    out["max"] = max(values)
+    return out
+
+
+@dataclass(frozen=True)
+class CompletedOp:
+    """Reply record handed back to the op's client."""
+
+    seq: int
+    client_id: int
+    kind: str
+    arrival: float
+    launch: float
+    completion: float
+    epoch: int
+    reply: Any
+    latency_rounds: int
+    wall_seconds: float
+
+    @property
+    def latency(self) -> float:
+        return self.completion - self.arrival
+
+
+@dataclass(frozen=True)
+class EpochRecord:
+    """One coalesced batch as executed on the PIM system."""
+
+    index: int
+    launch: float
+    service: float
+    completion: float
+    size: int
+    kinds: tuple[str, ...]  # kinds of the consecutive segments executed
+    queue_depth: int  # pending ops at launch, before extraction
+    io_rounds: int
+    io_time: int
+    communication: int
+    pim_time: int
+    wall_seconds: float
+
+
+@dataclass
+class ServiceReport:
+    """Everything a serve run measured, ready for JSON or printing."""
+
+    policy: str
+    trace: str
+    num_ops: int
+    completed: list[CompletedOp]
+    dropped: int
+    epochs: list[EpochRecord]
+    metrics: MetricsSnapshot  # PIM Model delta across all epochs
+    round_time: float
+    word_time: float
+    extra: dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @property
+    def makespan(self) -> float:
+        """Last completion time on the simulated clock."""
+        return self.epochs[-1].completion if self.epochs else 0.0
+
+    @property
+    def throughput(self) -> float:
+        """Completed ops per simulated time unit."""
+        mk = self.makespan
+        return len(self.completed) / mk if mk > 0 else 0.0
+
+    @property
+    def rounds_per_op(self) -> float:
+        """IO rounds per completed op — the amortization the batching buys."""
+        n = len(self.completed)
+        return self.metrics.io_rounds / n if n else 0.0
+
+    def occupancy(self) -> float:
+        """Mean epoch fill ratio (size / max allowed batch)."""
+        if not self.epochs:
+            return 0.0
+        cap = max(1, int(self.extra.get("max_batch", 1)))
+        return sum(e.size for e in self.epochs) / (len(self.epochs) * cap)
+
+    def queue_depth_stats(self) -> dict[str, float]:
+        depths = [e.queue_depth for e in self.epochs]
+        if not depths:
+            return {"mean": 0.0, "max": 0.0}
+        return {"mean": sum(depths) / len(depths), "max": float(max(depths))}
+
+    def latency(self) -> dict[str, float]:
+        return latency_stats([c.latency for c in self.completed])
+
+    def latency_rounds(self) -> dict[str, float]:
+        return latency_stats([float(c.latency_rounds) for c in self.completed])
+
+    def latency_wall(self) -> dict[str, float]:
+        return latency_stats([c.wall_seconds for c in self.completed])
+
+    # ------------------------------------------------------------------
+    def as_dict(self, *, include_wall: bool = True,
+                include_per_module: bool = False) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "policy": self.policy,
+            "trace": self.trace,
+            "num_ops": self.num_ops,
+            "completed": len(self.completed),
+            "dropped": self.dropped,
+            "epochs": len(self.epochs),
+            "makespan": self.makespan,
+            "throughput": self.throughput,
+            "rounds_per_op": self.rounds_per_op,
+            "occupancy": self.occupancy(),
+            "queue_depth": self.queue_depth_stats(),
+            "latency": self.latency(),
+            "latency_rounds": self.latency_rounds(),
+            "round_time": self.round_time,
+            "word_time": self.word_time,
+            "metrics": self.metrics.as_dict(include_per_module=include_per_module),
+        }
+        if include_wall:
+            out["latency_wall_seconds"] = self.latency_wall()
+            out["wall_seconds_total"] = sum(e.wall_seconds for e in self.epochs)
+        out.update(self.extra)
+        return out
+
+    # ------------------------------------------------------------------
+    def format_summary(self, *, deterministic_only: bool = False) -> str:
+        """Human-readable summary; deterministic fields only on request."""
+        lat, rnds = self.latency(), self.latency_rounds()
+        q = self.queue_depth_stats()
+        m = self.metrics
+        lines = [
+            f"policy {self.policy} on {self.trace}: "
+            f"{len(self.completed)}/{self.num_ops} completed, "
+            f"{self.dropped} rejected, {len(self.epochs)} epochs",
+            f"makespan {self.makespan:.4f} units | throughput "
+            f"{self.throughput:.4f} ops/unit | {self.rounds_per_op:.4f} "
+            f"IO rounds/op",
+            f"batch occupancy {self.occupancy():.4f} | queue depth mean "
+            f"{q['mean']:.2f} max {q['max']:.0f}",
+            f"latency (units):  p50 {lat['p50']:.4f}  p95 {lat['p95']:.4f}  "
+            f"p99 {lat['p99']:.4f}  max {lat['max']:.4f}",
+            f"latency (rounds): p50 {rnds['p50']:.0f}  p95 {rnds['p95']:.0f}  "
+            f"p99 {rnds['p99']:.0f}  max {rnds['max']:.0f}",
+            f"PIM: {m.io_rounds} rounds, io_time {m.io_time}, "
+            f"{m.total_communication} words, pim_time {m.pim_time}, "
+            f"imbalance {m.traffic_imbalance():.3f}",
+        ]
+        if not deterministic_only:
+            wall = self.latency_wall()
+            total = sum(e.wall_seconds for e in self.epochs)
+            lines.append(
+                f"wall-clock: {total:.3f}s executing, per-op p99 "
+                f"{wall['p99'] * 1e3:.2f}ms"
+            )
+        return "\n".join(lines)

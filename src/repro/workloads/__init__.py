@@ -1,7 +1,10 @@
-"""Seeded workload generators (uniform, skewed, adversarial)."""
+"""Seeded workload generators (uniform, skewed, adversarial, streams)."""
 
 from .generators import (
+    OP_KINDS,
+    TimedOp,
     ip_prefixes,
+    operation_stream,
     shared_prefix_flood,
     single_range_flood,
     text_keys,
@@ -11,7 +14,10 @@ from .generators import (
 )
 
 __all__ = [
+    "OP_KINDS",
+    "TimedOp",
     "ip_prefixes",
+    "operation_stream",
     "shared_prefix_flood",
     "single_range_flood",
     "text_keys",

@@ -15,7 +15,7 @@ defend against:
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Any, NamedTuple, Optional, Sequence
 
 import numpy as np
 
@@ -29,6 +29,9 @@ __all__ = [
     "single_range_flood",
     "ip_prefixes",
     "text_keys",
+    "TimedOp",
+    "OP_KINDS",
+    "operation_stream",
 ]
 
 
@@ -134,6 +137,122 @@ def ip_prefixes(n: int, seed: int = 0) -> list[BitString]:
         plen = int(plen)
         addr = int(rng.integers(0, 1 << 32))
         out.append(BitString(addr >> (32 - plen), plen))
+    return out
+
+
+# ----------------------------------------------------------------------
+# timestamped operation streams (the serve layer's arrival model)
+# ----------------------------------------------------------------------
+OP_KINDS = ("lcp", "insert", "delete", "subtree")
+
+
+class TimedOp(NamedTuple):
+    """One timestamped operation of a mixed online stream."""
+
+    time: float
+    kind: str  # one of OP_KINDS
+    key: BitString
+    value: Any  # payload for inserts, None otherwise
+
+
+def operation_stream(
+    n: int,
+    length: int = 64,
+    *,
+    mix: Optional[dict[str, float]] = None,
+    arrival: str = "poisson",
+    rate: float = 2.0,
+    burst_factor: float = 8.0,
+    kind_corr: float = 0.5,
+    skew: str = "uniform",
+    subtree_prefix: int = 12,
+    seed: int = 0,
+) -> list[TimedOp]:
+    """``n`` timestamped mixed operations, deterministic under ``seed``.
+
+    The op *kinds* follow a Markov chain whose stationary distribution
+    is ``mix`` (ratios over :data:`OP_KINDS`, default 60% LCP / 20%
+    Insert / 10% Delete / 10% Subtree): each op repeats the previous
+    kind with probability ``kind_corr`` and redraws from ``mix``
+    otherwise — clients issue streaks of like operations (scans, bulk
+    loads), which is what gives an order-preserving batcher same-kind
+    runs to coalesce.  ``kind_corr=0`` recovers iid kinds.  *Keys* come
+    from the seeded generators above, selected by ``skew``
+    (``"uniform"``, ``"zipf"``, or ``"flood"`` — the E10 adversary);
+    subtree ops query a ``subtree_prefix``-bit prefix of their drawn
+    key.  *Arrival times* are either
+
+    * ``"poisson"`` — iid exponential gaps at ``rate`` ops per
+      simulated time unit, or
+    * ``"burst"`` — alternating on/off phases: bursts of 8–32 ops with
+      gaps ``burst_factor``× shorter than the base rate, separated by
+      quiet stretches of 16–64 ops at the base rate.
+
+    Returned times are strictly sorted cumulative sums.  Insert values
+    are ``"v<i>"`` strings so replays can check which write won.
+    """
+    if n <= 0:
+        return []
+    if rate <= 0:
+        raise ValueError("rate must be positive")
+    if not 0.0 <= kind_corr < 1.0:
+        raise ValueError("kind_corr must be in [0, 1)")
+    ratios = dict(mix) if mix else {"lcp": 0.6, "insert": 0.2,
+                                    "delete": 0.1, "subtree": 0.1}
+    unknown = set(ratios) - set(OP_KINDS)
+    if unknown:
+        raise ValueError(f"unknown op kinds in mix: {sorted(unknown)}")
+    probs = np.array([ratios.get(k, 0.0) for k in OP_KINDS], dtype=np.float64)
+    if probs.sum() <= 0:
+        raise ValueError("mix must have positive total weight")
+    probs /= probs.sum()
+
+    rng = np.random.default_rng(seed)
+    if skew == "uniform":
+        keys = uniform_keys(n, length, seed=seed + 1)
+    elif skew == "zipf":
+        keys = zipf_prefix(n, length, seed=seed + 1)
+    elif skew == "flood":
+        keys = single_range_flood(n, length, seed=seed + 1)
+    else:
+        raise ValueError(f"unknown skew {skew!r}")
+
+    if arrival == "poisson":
+        gaps = rng.exponential(1.0 / rate, size=n)
+    elif arrival == "burst":
+        gaps = np.empty(n, dtype=np.float64)
+        i, in_burst = 0, True
+        while i < n:
+            if in_burst:
+                m = int(rng.integers(8, 33))
+                scale = 1.0 / (rate * burst_factor)
+            else:
+                m = int(rng.integers(16, 65))
+                scale = 1.0 / rate
+            m = min(m, n - i)
+            gaps[i : i + m] = rng.exponential(scale, size=m)
+            i += m
+            in_burst = not in_burst
+    else:
+        raise ValueError(f"unknown arrival model {arrival!r}")
+    times = np.cumsum(gaps)
+
+    fresh = rng.choice(len(OP_KINDS), size=n, p=probs)
+    stay = rng.random(n) < kind_corr
+    kinds = np.empty(n, dtype=np.int64)
+    kinds[0] = fresh[0]
+    for i in range(1, n):
+        kinds[i] = kinds[i - 1] if stay[i] else fresh[i]
+    out: list[TimedOp] = []
+    for i in range(n):
+        kind = OP_KINDS[int(kinds[i])]
+        key = keys[i]
+        value = None
+        if kind == "insert":
+            value = f"v{i}"
+        elif kind == "subtree":
+            key = key.prefix(min(subtree_prefix, len(key)))
+        out.append(TimedOp(float(times[i]), kind, key, value))
     return out
 
 

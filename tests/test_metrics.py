@@ -98,3 +98,12 @@ class TestSnapshot:
             "io_rounds", "io_time", "total_communication", "pim_time",
             "pim_work", "cpu_work", "traffic_imbalance", "work_imbalance",
         }
+
+    def test_as_dict_per_module(self):
+        s = self.snap(per_module_traffic=(6, 4), per_module_work=(2, 8))
+        d = s.as_dict(include_per_module=True)
+        assert d["per_module_traffic"] == [6, 4]
+        assert d["per_module_work"] == [2, 8]
+        # JSON-friendly: plain lists, not tuples
+        assert isinstance(d["per_module_traffic"], list)
+        assert "per_module_traffic" not in s.as_dict()

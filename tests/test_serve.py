@@ -1,0 +1,324 @@
+"""Tests for the serve layer: scheduler policies, the epoch server, and
+the server-vs-direct equivalence guarantee.
+
+The load-bearing property: replaying any trace through
+:class:`EpochServer` under *any* scheduler policy yields exactly the
+per-op answers of applying the same ops to a ``PIMTrie`` directly in
+arrival order — batching is an execution strategy, never a semantic
+change.
+"""
+
+import pytest
+
+from repro import PIMSystem, PIMTrie, PIMTrieConfig
+from repro.perf import reset_id_counters
+from repro.serve import (
+    ContinuousBatchingScheduler,
+    EpochServer,
+    Operation,
+    SchedulerPolicy,
+    Trace,
+    latency_stats,
+    make_trace,
+    percentile,
+    policy_from_name,
+    replay_direct,
+)
+from repro.workloads import uniform_keys
+
+P = 4
+RESIDENT = 64
+LENGTH = 32
+
+
+def fresh_trie() -> PIMTrie:
+    """A deterministic resident index (same bytes every call)."""
+    reset_id_counters()
+    system = PIMSystem(P, seed=1)
+    keys = uniform_keys(RESIDENT, LENGTH, seed=11)
+    return PIMTrie(system, PIMTrieConfig(num_modules=P), keys=keys, values=keys)
+
+
+def op(seq, time, kind, key, value=None):
+    from repro.bits import BitString
+
+    if isinstance(key, str):
+        key = BitString.from_str(key)
+    return Operation(seq=seq, client_id=0, time=time, kind=kind,
+                     key=key, value=value)
+
+
+# ----------------------------------------------------------------------
+class TestPolicy:
+    def test_parse_eager(self):
+        p = policy_from_name("eager")
+        assert p.max_wait == 0 and not p.affinity
+
+    def test_parse_deadline(self):
+        assert policy_from_name("deadline:2.5").max_wait == 2.5
+        assert policy_from_name("deadline").max_wait == 1.0
+
+    def test_parse_affinity(self):
+        p = policy_from_name("affinity:3")
+        assert p.affinity and p.max_wait == 3.0
+        assert policy_from_name("affinity").max_wait == 0.0
+
+    def test_parse_errors(self):
+        with pytest.raises(ValueError):
+            policy_from_name("eager:5")
+        with pytest.raises(ValueError):
+            policy_from_name("lifo")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SchedulerPolicy("x", max_batch=0)
+        with pytest.raises(ValueError):
+            SchedulerPolicy("x", max_wait=-1)
+        with pytest.raises(ValueError):
+            SchedulerPolicy("x", max_batch=8, queue_capacity=4)
+
+    def test_describe_mentions_knobs(self):
+        d = policy_from_name("deadline:7", queue_capacity=300).describe()
+        assert "max_wait=7" in d and "capacity=300" in d
+
+
+class TestScheduler:
+    def make(self, **kw):
+        return ContinuousBatchingScheduler(SchedulerPolicy("t", **kw))
+
+    def test_admission_drops_when_full(self):
+        s = self.make(max_batch=2, queue_capacity=2)
+        assert s.admit(op(0, 0.0, "lcp", "01"))
+        assert s.admit(op(1, 0.1, "lcp", "10"))
+        assert not s.admit(op(2, 0.2, "lcp", "11"))
+        assert len(s.dropped) == 1 and s.admitted == 2
+
+    def test_take_epoch_respects_causality(self):
+        s = self.make()
+        s.admit(op(0, 1.0, "lcp", "01"))
+        s.admit(op(1, 5.0, "lcp", "10"))
+        batch = s.take_epoch(2.0)
+        assert [o.seq for o in batch] == [0]
+        assert len(s) == 1  # the future op stays queued
+
+    def test_take_epoch_caps_at_max_batch(self):
+        s = self.make(max_batch=3)
+        for i in range(5):
+            s.admit(op(i, float(i), "lcp", "01"))
+        assert [o.seq for o in s.take_epoch(10.0)] == [0, 1, 2]
+
+    def test_affinity_takes_leading_run_only(self):
+        s = self.make(affinity=True)
+        for i, kind in enumerate(["lcp", "lcp", "insert", "lcp"]):
+            s.admit(op(i, float(i), kind, "01", "v" if kind == "insert" else None))
+        assert [o.seq for o in s.take_epoch(10.0)] == [0, 1]
+        assert [o.seq for o in s.take_epoch(10.0)] == [2]
+
+    def test_fill_arrival(self):
+        s = self.make(max_batch=2)
+        s.admit(op(0, 1.0, "lcp", "01"))
+        assert not s.full()
+        s.admit(op(1, 3.0, "lcp", "10"))
+        assert s.full() and s.fill_arrival() == 3.0
+
+
+# ----------------------------------------------------------------------
+def normalize(reply):
+    """Subtree replies are key/value sets; order is not part of the API."""
+    if isinstance(reply, list):
+        return sorted((str(k), str(v)) for k, v in reply)
+    return reply
+
+
+POLICIES = [
+    policy_from_name("eager"),
+    policy_from_name("deadline:5"),
+    policy_from_name("deadline:500"),  # one giant epoch per lull
+    policy_from_name("affinity"),
+    policy_from_name("affinity:50"),
+    policy_from_name("eager", max_batch=4),  # forces mid-run epoch splits
+    policy_from_name("deadline:50", max_batch=8, queue_capacity=8),
+]
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("seed", [3, 9])
+    @pytest.mark.parametrize("policy", POLICIES, ids=lambda p: p.describe())
+    def test_server_matches_direct_replay(self, policy, seed):
+        trace = make_trace(100, length=LENGTH, rate=2.0, seed=seed)
+        report = EpochServer(fresh_trie(), policy).run(trace)
+
+        served = {c.seq: c.reply for c in report.completed}
+        # replay only the ops the server admitted (a bounded queue may
+        # legitimately reject some; semantics are defined over admitted ops)
+        direct_trie = fresh_trie()
+        admitted = [o for o in trace.ops if o.seq in served]
+        direct = dict(replay_direct(direct_trie, admitted))
+
+        assert set(served) == set(direct)
+        for seq in served:
+            assert normalize(served[seq]) == normalize(direct[seq]), seq
+        assert len(served) + report.dropped == len(trace)
+
+    def test_final_state_matches(self):
+        trace = make_trace(100, length=LENGTH, rate=2.0, seed=5)
+        server_trie = fresh_trie()
+        EpochServer(server_trie, policy_from_name("deadline:5")).run(trace)
+        direct_trie = fresh_trie()
+        replay_direct(direct_trie, trace.ops)
+        assert sorted(map(str, server_trie.keys())) == \
+            sorted(map(str, direct_trie.keys()))
+        assert server_trie.num_keys() == direct_trie.num_keys()
+        server_trie.validate()
+
+    @pytest.mark.parametrize("policy", POLICIES, ids=lambda p: p.describe())
+    def test_interleaved_insert_lcp_delete_lcp(self, policy):
+        """The issue's canonical sequence, explicit and hand-checkable."""
+        from repro.bits import BitString
+
+        k = BitString.from_str("1011" * (LENGTH // 4))
+        ops = [
+            op(0, 1.0, "insert", k, "payload"),
+            op(1, 2.0, "lcp", k),
+            op(2, 3.0, "delete", k),
+            op(3, 4.0, "lcp", k),
+        ]
+        report = EpochServer(fresh_trie(), policy).run(Trace(ops, name="ilil"))
+        replies = {c.seq: c.reply for c in report.completed}
+        assert replies[0] is True and replies[2] is True
+        assert replies[1] == LENGTH  # sees its own insert
+        assert replies[3] < LENGTH  # and then its deletion
+        direct = dict(replay_direct(fresh_trie(), ops))
+        assert {s: normalize(r) for s, r in replies.items()} == \
+            {s: normalize(r) for s, r in direct.items()}
+
+
+# ----------------------------------------------------------------------
+class TestServerBehavior:
+    def run_smoke(self, policy_spec="deadline:5", **kw):
+        trace = make_trace(80, length=LENGTH, rate=1.0, seed=4)
+        policy = policy_from_name(policy_spec, **kw)
+        return EpochServer(fresh_trie(), policy).run(trace)
+
+    def test_report_accounting(self):
+        r = self.run_smoke()
+        assert len(r.completed) == r.num_ops == 80
+        assert r.dropped == 0
+        assert sum(e.size for e in r.epochs) == 80
+        assert r.makespan > 0 and r.throughput > 0
+
+    def test_epochs_and_latencies_monotone(self):
+        r = self.run_smoke()
+        for prev, cur in zip(r.epochs, r.epochs[1:]):
+            assert cur.launch >= prev.completion  # one server, no overlap
+            assert cur.completion >= prev.completion
+        for e in r.epochs:
+            assert e.io_rounds > 0 and e.service > 0
+        for c in r.completed:
+            assert c.latency >= 0
+            assert c.arrival <= c.launch < c.completion
+            # an op waits at least through its own epoch's rounds
+            assert c.latency_rounds >= r.epochs[c.epoch].io_rounds
+            assert c.wall_seconds >= r.epochs[c.epoch].wall_seconds
+
+    def test_metrics_sum_over_epochs(self):
+        r = self.run_smoke()
+        assert r.metrics.io_rounds == sum(e.io_rounds for e in r.epochs)
+        assert r.metrics.total_communication == \
+            sum(e.communication for e in r.epochs)
+
+    def test_deadline_batches_more_than_eager(self):
+        eager = self.run_smoke("eager")
+        slow = self.run_smoke("deadline:100")
+        assert len(slow.epochs) < len(eager.epochs)
+        assert slow.rounds_per_op < eager.rounds_per_op
+        assert slow.latency()["p99"] > eager.latency()["p99"]
+
+    def test_bounded_queue_sheds_load(self):
+        trace = make_trace(200, length=LENGTH, rate=50.0, seed=8)
+        policy = policy_from_name("deadline:100", max_batch=16,
+                                  queue_capacity=16)
+        r = EpochServer(fresh_trie(), policy).run(trace)
+        assert r.dropped > 0
+        assert len(r.completed) + r.dropped == 200
+
+    def test_as_dict_roundtrips_to_json(self):
+        import json
+
+        r = self.run_smoke()
+        d = r.as_dict(include_wall=True, include_per_module=True)
+        assert json.loads(json.dumps(d)) == d
+        assert len(d["metrics"]["per_module_traffic"]) == P
+        assert d["completed"] == 80
+
+    def test_format_summary_deterministic_mode(self):
+        r = self.run_smoke()
+        text = r.format_summary(deterministic_only=True)
+        assert "wall-clock" not in text
+        assert "latency (rounds)" in text
+        assert "wall-clock" in r.format_summary()
+
+    def test_service_model_validation(self):
+        with pytest.raises(ValueError):
+            EpochServer(fresh_trie(), policy_from_name("eager"),
+                        round_time=-1.0)
+
+
+# ----------------------------------------------------------------------
+class TestSLO:
+    def test_percentile_nearest_rank(self):
+        vals = list(range(1, 101))
+        assert percentile(vals, 50) == 50
+        assert percentile(vals, 99) == 99
+        assert percentile(vals, 100) == 100
+        assert percentile([7.0], 99) == 7.0
+        assert percentile([], 50) == 0.0
+
+    def test_latency_stats_fields(self):
+        s = latency_stats([1.0, 2.0, 3.0, 4.0])
+        assert s["p50"] == 2.0 and s["max"] == 4.0
+        assert s["mean"] == pytest.approx(2.5)
+
+
+# ----------------------------------------------------------------------
+class TestTrace:
+    def test_make_trace_deterministic(self):
+        a = make_trace(50, seed=2)
+        b = make_trace(50, seed=2)
+        assert [(o.time, o.kind, str(o.key), o.client_id) for o in a.ops] == \
+            [(o.time, o.kind, str(o.key), o.client_id) for o in b.ops]
+
+    def test_ops_sorted_and_sequenced(self):
+        t = make_trace(50, seed=2)
+        times = [o.time for o in t.ops]
+        assert times == sorted(times)
+        assert [o.seq for o in t.ops] == list(range(50))
+        assert t.duration() == times[-1]
+
+    def test_kind_counts_cover_all_ops(self):
+        t = make_trace(60, seed=3)
+        assert sum(t.kind_counts().values()) == 60
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ValueError):
+            op(0, 0.0, "scan", "01")
+
+    def test_clients_bounded(self):
+        t = make_trace(50, num_clients=4, seed=2)
+        assert {o.client_id for o in t.ops} <= set(range(4))
+        with pytest.raises(ValueError):
+            make_trace(5, num_clients=0)
+
+
+# ----------------------------------------------------------------------
+class TestCLISmoke:
+    def test_serve_smoke_byte_deterministic(self, capsys):
+        from repro.cli import main
+
+        assert main(["serve", "--smoke"]) == 0
+        first = capsys.readouterr().out
+        assert main(["serve", "--smoke"]) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        assert "latency (rounds)" in first
+        assert "wall-clock" not in first

@@ -5,7 +5,9 @@ import pytest
 
 from repro.bits import BitString
 from repro.workloads import (
+    OP_KINDS,
     ip_prefixes,
+    operation_stream,
     shared_prefix_flood,
     single_range_flood,
     text_keys,
@@ -68,6 +70,86 @@ class TestAdversarial:
         # the hottest prefix dominates under theta=1.5
         assert counts[0] > len(ks) / 8
         assert len(halves) <= 16
+
+
+class TestOperationStream:
+    def test_deterministic_under_seed(self):
+        a = operation_stream(100, 32, seed=5)
+        b = operation_stream(100, 32, seed=5)
+        assert a == b
+        assert a != operation_stream(100, 32, seed=6)
+
+    def test_times_sorted_positive(self):
+        ops = operation_stream(200, 32, seed=1)
+        times = [o.time for o in ops]
+        assert times == sorted(times)
+        assert times[0] > 0
+
+    def test_kinds_and_payloads(self):
+        ops = operation_stream(300, 32, seed=2, subtree_prefix=12)
+        for o in ops:
+            assert o.kind in OP_KINDS
+            if o.kind == "insert":
+                assert isinstance(o.value, str) and o.value.startswith("v")
+            else:
+                assert o.value is None
+            if o.kind == "subtree":
+                assert len(o.key) == 12
+            else:
+                assert len(o.key) == 32
+
+    def test_mix_ratios_approximate(self):
+        ops = operation_stream(4000, 32, seed=3, kind_corr=0.0)
+        frac = sum(o.kind == "lcp" for o in ops) / len(ops)
+        assert 0.55 < frac < 0.65  # default mix says 0.6
+
+    def test_custom_mix_exclusive(self):
+        ops = operation_stream(100, 32, mix={"insert": 1.0}, seed=4)
+        assert all(o.kind == "insert" for o in ops)
+
+    def test_kind_corr_lengthens_runs(self):
+        def runs(corr):
+            ops = operation_stream(1000, 32, seed=5, kind_corr=corr)
+            return 1 + sum(
+                a.kind != b.kind for a, b in zip(ops, ops[1:])
+            )
+
+        assert runs(0.8) < runs(0.0)
+
+    def test_poisson_rate_scales_duration(self):
+        slow = operation_stream(400, 32, rate=0.5, seed=6)
+        fast = operation_stream(400, 32, rate=5.0, seed=6)
+        assert fast[-1].time < slow[-1].time
+
+    def test_burst_arrivals(self):
+        ops = operation_stream(300, 32, arrival="burst", rate=1.0, seed=7)
+        gaps = sorted(
+            b.time - a.time for a, b in zip(ops, ops[1:])
+        )
+        # on/off mixture: the short gaps are far shorter than the long
+        assert gaps[len(gaps) // 4] < gaps[-len(gaps) // 4] / 2
+
+    def test_flood_skew_shares_prefix(self):
+        ops = operation_stream(
+            50, 64, mix={"lcp": 1.0}, skew="flood", seed=8
+        )
+        p = ops[0].key.prefix(32)
+        assert all(o.key.prefix(32) == p for o in ops)
+
+    def test_empty_and_errors(self):
+        assert operation_stream(0, 32) == []
+        with pytest.raises(ValueError):
+            operation_stream(10, 32, rate=0.0)
+        with pytest.raises(ValueError):
+            operation_stream(10, 32, kind_corr=1.0)
+        with pytest.raises(ValueError):
+            operation_stream(10, 32, mix={"scan": 1.0})
+        with pytest.raises(ValueError):
+            operation_stream(10, 32, mix={"lcp": 0.0})
+        with pytest.raises(ValueError):
+            operation_stream(10, 32, skew="diagonal")
+        with pytest.raises(ValueError):
+            operation_stream(10, 32, arrival="steady")
 
 
 class TestDomain:

@@ -15,9 +15,10 @@ from . import fastpath
 from .bits import BitString, HashValue, IncrementalHasher
 from .core import MatchOutcome, PIMTrie, PIMTrieConfig
 from .pim import MetricsSnapshot, PIMSystem
+from . import faults
 from . import serve
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "BitString",
@@ -29,6 +30,7 @@ __all__ = [
     "MetricsSnapshot",
     "PIMSystem",
     "fastpath",
+    "faults",
     "serve",
     "__version__",
 ]

@@ -12,6 +12,9 @@ reproduce, without pytest:
 * ``python -m repro perf [--smoke]``      — wall-clock harness (BENCH_wallclock.json)
 * ``python -m repro serve [--smoke]``     — online service simulation
   (continuous batching over a timestamped trace, latency percentiles)
+* ``python -m repro faults [--smoke]``    — fault-injection sweep (E16):
+  availability and latency under crashes, stragglers, and lossy
+  transport (BENCH_faults.json)
 
 All numbers are PIM Model counts from the simulator (IO rounds, words,
 per-module balance), not wall-clock times — except ``perf``, which
@@ -178,6 +181,30 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_faults(args: argparse.Namespace) -> int:
+    from .faults.bench import run_bench_faults
+
+    report = run_bench_faults(out=args.out, smoke=args.smoke, seed=args.seed)
+    print(f"faults — availability under injected failures "
+          f"({report['profile']} profile)\n")
+    print(f"{'scenario':<16} {'avail':>6} {'correct':>8} {'degraded':>9} "
+          f"{'retries':>8} {'recovery':>9} {'p99 lat':>9}")
+    for row in report["scenarios"]:
+        print(f"{row['scenario']:<16} {row['availability']:>6.3f} "
+              f"{str(row['answers_match_replay']):>8} "
+              f"{row['degraded_epochs']:>9} {row['retries']:>8} "
+              f"{row['recovery_rounds']:>9} {row['latency']['p99']:>9.2f}")
+    head = report["headline"]
+    print(f"\nheadline: all answers match sequential replay: "
+          f"{head['all_correct']}; min availability "
+          f"{head['min_availability']:.3f}; p99 {head['baseline_p99']:.2f} "
+          f"(fault-free) -> {head['worst_p99']:.2f} (worst scenario); "
+          f"{head['total_recovery_rounds']} recovery rounds total")
+    if args.out:
+        print(f"wrote {args.out}")
+    return 0 if head["all_correct"] else 1
+
+
 def cmd_bench_all(args: argparse.Namespace) -> int:
     rc = 0
     for fn in (cmd_demo, cmd_table1, cmd_skew, cmd_scaling):
@@ -236,6 +263,16 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--max-batch", type=int, default=256)
     p.add_argument("--queue-capacity", type=int, default=None,
                    help="bounded admission (rejects arrivals when full)")
+    p.add_argument("--seed", type=int, default=7)
+    p = sub.add_parser(
+        "faults",
+        help="fault-injection sweep: crashes/stragglers/lossy transport "
+             "(writes BENCH_faults.json)",
+    )
+    p.set_defaults(fn=cmd_faults)
+    p.add_argument("--smoke", action="store_true",
+                   help="small deterministic run (fixed P/n/rate)")
+    p.add_argument("--out", default="BENCH_faults.json")
     p.add_argument("--seed", type=int, default=7)
     args = parser.parse_args(argv)
     return args.fn(args)

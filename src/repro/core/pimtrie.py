@@ -20,6 +20,7 @@ carry no per-batch key data; see DESIGN.md §7.
 
 from __future__ import annotations
 
+import functools
 from collections import defaultdict
 from dataclasses import dataclass, field, replace
 from typing import Any, Iterable, Optional, Sequence
@@ -28,7 +29,14 @@ from .. import fastpath
 from ..bits import BitString, IncrementalHasher
 from ..pim import ModuleContext, PIMSystem
 from ..pim.system import default_word_cost
-from ..trie import PatriciaTrie, TrieNode, build_query_trie, partition_weighted, rootfix
+from ..trie import (
+    PatriciaTrie,
+    TrieEdge,
+    TrieNode,
+    build_query_trie,
+    partition_weighted,
+    rootfix,
+)
 from .blocks import DataBlock, extract_blocks
 from .config import PIMTrieConfig
 from .hashmatch import CollisionLog, MatchCut, RecordTable, hash_match_fragment
@@ -154,6 +162,34 @@ class _PieceOp:
 
 
 # ----------------------------------------------------------------------
+# structural-maintenance tracking (recovery support, repro.faults)
+# ----------------------------------------------------------------------
+def _structural(fn):
+    """Mark a maintenance method whose interruption leaves the host
+    registries mid-transition.  While any structural frame is on the
+    stack, ``_dirty_structure`` is set; it is cleared only when the
+    outermost frame exits *cleanly* — an abort (RoundAborted) skips the
+    clear, which steers recovery to the full rebuild-from-mirror path
+    instead of the cheap per-module one."""
+
+    @functools.wraps(fn)
+    def wrapper(self, *args, **kwargs):
+        self._maint_depth += 1
+        self._dirty_structure = True
+        try:
+            out = fn(self, *args, **kwargs)
+        except BaseException:
+            self._maint_depth -= 1
+            raise
+        self._maint_depth -= 1
+        if self._maint_depth == 0:
+            self._dirty_structure = False
+        return out
+
+    return wrapper
+
+
+# ----------------------------------------------------------------------
 # the index
 # ----------------------------------------------------------------------
 class PIMTrie:
@@ -181,12 +217,19 @@ class PIMTrie:
         self.block_depth: dict[int, int] = {}
         self._records: dict[int, MetaRecord] = {}
         self._root_strings: dict[int, BitString] = {}
+        #: host replica log: block id -> {relative key -> value}, kept
+        #: write-through by every mutating path so a crashed module's
+        #: shards can be rebuilt without its memory (repro.faults)
+        self._block_items: dict[int, dict[BitString, Any]] = {}
 
         self.piece_module: dict[int, int] = {}
         self.piece_parent: dict[int, Optional[int]] = {}
         self.piece_children: dict[int, list[int]] = defaultdict(list)
         self.piece_owned: dict[int, set[int]] = defaultdict(set)
         self.piece_of_block: dict[int, int] = {}
+        #: piece id -> root block of its record subtree (recovery needs
+        #: it to reconstruct child_roots without the piece's memory)
+        self.piece_root_block: dict[int, int] = {}
         #: meta-block-tree root pieces registered in the master-tree,
         #: mapped to their component root block
         self.master_pieces: dict[int, int] = {}
@@ -195,6 +238,11 @@ class PIMTrie:
         self._query_trie: Optional[PatriciaTrie] = None
         self._query_nodes: dict[int, TrieNode] = {}
         self._query_strings: dict[int, BitString] = {}
+
+        # recovery bookkeeping: structural-maintenance nesting depth and
+        # the dirty flag an aborted maintenance path leaves behind
+        self._maint_depth = 0
+        self._dirty_structure = False
 
         self._register_kernels()
         keys = list(keys or [])
@@ -418,11 +466,20 @@ class PIMTrie:
                     raise ValueError(f"bad block op {r.op!r}")
             return out
 
+        def k_wipe(ctx: ModuleContext, reqs: list) -> list:
+            # full-rebuild recovery: forget every pimtrie structure on
+            # this module (other scratch tenants are left alone)
+            for key in ("blocks", "pieces", "master", "master_piece"):
+                ctx.scratch.pop(key, None)
+            ctx.tick(1)
+            return []
+
         sys.register_kernel("pimtrie.store", k_store)
         sys.register_kernel("pimtrie.master", k_master)
         sys.register_kernel("pimtrie.match", k_match)
         sys.register_kernel("pimtrie.piece", k_piece)
         sys.register_kernel("pimtrie.block", k_block)
+        sys.register_kernel("pimtrie.wipe", k_wipe)
 
     # ==================================================================
     # construction
@@ -444,6 +501,7 @@ class PIMTrie:
             self.block_keys[blk.block_id] = blk.trie.num_keys
             self.block_depth[blk.block_id] = blk.root_depth
             self._root_strings[blk.block_id] = root_strings[blk.block_id]
+            self._block_items[blk.block_id] = dict(blk.trie.iter_items())
             sends[m].append(_StoreBlock(blk))
         if sends:
             self.system.round("pimtrie.store", sends)
@@ -461,6 +519,7 @@ class PIMTrie:
     # ==================================================================
     # HVM construction / replication / maintenance
     # ==================================================================
+    @_structural
     def _rebuild_hvm(self) -> None:
         """(Re)build every meta piece and the master from the record
         mirror (bulk build, and the fallback for structural rebuilds)."""
@@ -474,6 +533,7 @@ class PIMTrie:
         self.piece_children.clear()
         self.piece_owned.clear()
         self.piece_of_block.clear()
+        self.piece_root_block.clear()
         self.master_pieces.clear()
         if not self._records:
             self._broadcast_master(full=True)
@@ -529,6 +589,7 @@ class PIMTrie:
                 self.piece_module[pid] = module
                 self.piece_children[pid] = list(piece.child_pieces)
                 self.piece_owned[pid] = owned
+                self.piece_root_block[pid] = key
                 for b in owned:
                     self.piece_of_block[b] = pid
                 sends[module].append(_StorePiece(piece))
@@ -584,6 +645,7 @@ class PIMTrie:
             len(self.piece_owned.get(p, ())) for p in self._tree_pieces(pid)
         )
 
+    @_structural
     def _hvm_add_records(self, recs: list[MetaRecord]) -> None:
         """Incremental §5.2 insert maintenance: each new record joins the
         leaf piece owning its parent block and is replicated up the piece
@@ -634,6 +696,7 @@ class PIMTrie:
         for root_pid in dirty_trees:
             self._rebuild_tree(root_pid)
 
+    @_structural
     def _hvm_update_records(self, recs: list[MetaRecord]) -> None:
         """Replace existing records in place (e.g. parent pointer moved
         during block re-partitioning)."""
@@ -660,6 +723,7 @@ class PIMTrie:
         if master_updates:
             self._broadcast_master(add=master_updates)
 
+    @_structural
     def _hvm_remove_records(self, block_ids: list[int]) -> None:
         msgs: dict[int, dict[int, list]] = defaultdict(lambda: defaultdict(list))
         dirty = False
@@ -688,6 +752,7 @@ class PIMTrie:
         if dirty:
             self._rebuild_hvm()
 
+    @_structural
     def _rebuild_tree(self, root_pid: int) -> None:
         """Scapegoat rebuild of one meta-block tree (§5.2): free its
         pieces, re-decompose its records, ship fresh pieces, fix master."""
@@ -700,6 +765,7 @@ class PIMTrie:
             self.piece_children.pop(p, None)
             self.piece_parent.pop(p, None)
             self.piece_module.pop(p, None)
+            self.piece_root_block.pop(p, None)
         if frees:
             self.system.round("pimtrie.piece", frees)
         old_root_block = self.master_pieces.pop(root_pid, None)
@@ -1137,6 +1203,16 @@ class PIMTrie:
                     )
         return out
 
+    def _base_owners(self, keys: Iterable[BitString]) -> dict[BitString, int]:
+        """Which of ``keys`` equal a block base, mapped to that block.
+
+        Inverts ``_root_strings`` per batch; block counts are small next
+        to batch work, and recomputing beats maintaining yet another
+        registry across repartition / collection / rebuild.
+        """
+        inv = {s: bid for bid, s in self._root_strings.items()}
+        return {k: inv[k] for k in keys if k in inv}
+
     # ==================================================================
     # public batch operations (§5)
     # ==================================================================
@@ -1185,9 +1261,19 @@ class PIMTrie:
         latest: dict[BitString, Any] = {}
         for key, value in zip(keys, vals):
             latest[key] = value
+        base_owner = self._base_owners(latest)
         new_keys = 0
         for key, value in latest.items():
             depth, block, exact, _old = folded[key]
+            owner = base_owner.get(key)
+            if owner is not None and owner != block:
+                # the key *is* a block base: the child block's root owns
+                # it (the parent holds only a non-key mirror leaf — see
+                # _clone_subtree), but the match can resolve the depth
+                # tie to the parent block.  Redirect, and read exactness
+                # from the replica log instead of the mis-routed match.
+                block = owner
+                exact = BitString(0, 0) in self._block_items.get(owner, ())
             rel = key.suffix_from(self.block_depth[block])
             by_block[block].append((rel, value))
             if not exact:
@@ -1200,6 +1286,13 @@ class PIMTrie:
         oversized: list[int] = []
         if sends:
             replies = self.system.round("pimtrie.block", sends)
+            # write-through replica log, only once the round committed:
+            # an aborted round leaves the log matching module state, and
+            # the retried batch re-applies both sides (upsert semantics)
+            for block, items in by_block.items():
+                log = self._block_items.setdefault(block, {})
+                for rel, value in items:
+                    log[rel] = value
             for reply in replies.values():
                 for (bid, nkeys, words) in reply:
                     self.block_keys[bid] = nkeys
@@ -1210,6 +1303,7 @@ class PIMTrie:
         return new_keys
 
     # ------------------------------------------------------------------
+    @_structural
     def _repartition_blocks(self, block_ids: list[int]) -> None:
         """Pull oversized blocks, re-run the §4.2 blocking algorithm on
         each, ship the resulting blocks, update mirrors and the HVM."""
@@ -1264,6 +1358,10 @@ class PIMTrie:
                     self.block_depth[sub.block_id] = sub.root_depth
                 self.block_keys[sub.block_id] = sub.trie.num_keys
                 self._root_strings[sub.block_id] = abs_string
+                # replica log follows the split; overwriting the old
+                # block's entry with the top sub keeps the log's union
+                # equal to the key set at every round boundary
+                self._block_items[sub.block_id] = dict(sub.trie.iter_items())
                 ship[m].append(_BlockOp("store", sub.block_id, payload=sub))
                 rec = make_record(
                     sub.block_id, abs_string, m, self.hasher,
@@ -1310,8 +1408,17 @@ class PIMTrie:
         outcome = self.match_batch(qt)
         folded = self._fold_keys(qt, outcome)
         by_block: dict[int, list[BitString]] = defaultdict(list)
-        for key in set(keys):
+        distinct = set(keys)
+        base_owner = self._base_owners(distinct)
+        for key in distinct:
             depth, block, exact, _v = folded[key]
+            owner = base_owner.get(key)
+            if owner is not None:
+                # block-base key: owned by the child block's root (see
+                # insert_batch); the match may have resolved the depth
+                # tie to the parent's mirror leaf and reported absent
+                block = owner
+                exact = BitString(0, 0) in self._block_items.get(owner, ())
             if not exact:
                 continue
             by_block[block].append(key.suffix_from(self.block_depth[block]))
@@ -1323,6 +1430,12 @@ class PIMTrie:
         removed_total = 0
         if sends:
             replies = self.system.round("pimtrie.block", sends)
+            # replica log trails the committed round (see insert_batch)
+            for block, items in by_block.items():
+                log = self._block_items.get(block)
+                if log is not None:
+                    for rel in items:
+                        log.pop(rel, None)
             for reply in replies.values():
                 for (bid, nkeys, _words, removed) in reply:
                     self.block_keys[bid] = nkeys
@@ -1331,6 +1444,7 @@ class PIMTrie:
             self._collect_empty_blocks()
         return removed_total
 
+    @_structural
     def _collect_empty_blocks(self) -> None:
         """Leaffix over the block tree (§5.2): drop blocks whose whole
         subtree stores no keys; remove their mirrors and records."""
@@ -1368,6 +1482,7 @@ class PIMTrie:
             self.block_depth.pop(bid, None)
             self.block_module.pop(bid, None)
             self._root_strings.pop(bid, None)
+            self._block_items.pop(bid, None)
         self._hvm_remove_records(doomed)
 
     # ------------------------------------------------------------------
@@ -1488,6 +1603,122 @@ class PIMTrie:
         return out
 
     # ==================================================================
+    # crash recovery (repro.faults)
+    # ==================================================================
+    def _reconstruct_block(self, bid: int) -> DataBlock:
+        """Rebuild one block host-side from the replica log + registries
+        (no module memory touched).  Refreshes ``block_keys[bid]``."""
+        base = self._root_strings[bid]
+        items = self._block_items.get(bid, {})
+        t = PatriciaTrie()
+        for rel in sorted(items):
+            t.insert(rel, items[rel])
+        for cid in sorted(self.block_children.get(bid, ())):
+            _graft_mirror(t, self._root_strings[cid].suffix_from(len(base)), cid)
+        self.block_keys[bid] = t.num_keys
+        return DataBlock(
+            block_id=bid,
+            root_depth=self.block_depth[bid],
+            root_hash=self.hasher.hash(base),
+            trie=t,
+            parent_id=self.block_parent.get(bid),
+            s_last=base.suffix_from(max(0, len(base) - self.w)),
+        )
+
+    def _reconstruct_piece(self, pid: int) -> MetaPiece:
+        """Rebuild one meta piece from the record mirror: its owned set
+        plus the subtree-complete replication of every descendant."""
+        piece = MetaPiece(pid, self.piece_module[pid], self.w)
+        piece.root_block = self.piece_root_block.get(pid)
+        piece.parent_piece = self.piece_parent.get(pid)
+        piece.child_pieces = list(self.piece_children.get(pid, ()))
+        piece.child_roots = {
+            c: self.piece_root_block[c]
+            for c in piece.child_pieces
+            if c in self.piece_root_block
+        }
+        for p in sorted(self._tree_pieces(pid)):
+            for b in sorted(self.piece_owned.get(p, ())):
+                rec = self._records.get(b)
+                if rec is not None:
+                    piece.add_record(rec, owned=(p == pid))
+        return piece
+
+    def rebuild_modules(self, modules: Iterable[int]) -> None:
+        """Clean recovery: re-ship every block and piece resident on the
+        (already restarted) ``modules``, rebuilt from the host replica
+        log and registries, then re-broadcast the master replica to them.
+
+        Valid only when no structural maintenance path was interrupted
+        (``_dirty_structure`` clear) — the registries then describe the
+        committed structure exactly.
+        """
+        modset = set(modules)
+        if not modset:
+            return
+        sends: dict[int, list] = defaultdict(list)
+        for bid, m in sorted(self.block_module.items()):
+            if m in modset:
+                sends[m].append(_StoreBlock(self._reconstruct_block(bid)))
+        for pid, m in sorted(self.piece_module.items()):
+            if m in modset:
+                sends[m].append(_StorePiece(self._reconstruct_piece(pid)))
+        if sends:
+            self.system.round("pimtrie.store", sends)
+        adds = [
+            (self._records[rb], pid)
+            for pid, rb in sorted(self.master_pieces.items())
+            if rb in self._records
+        ]
+        msg = _MasterDelta(add=adds, remove=[], full=True)
+        self.system.round("pimtrie.master", {m: [msg] for m in sorted(modset)})
+
+    def rebuild_from_mirror(self) -> None:
+        """Full recovery: wipe every module's pimtrie state and rebuild
+        the whole index from the union of the replica log.
+
+        The fallback when an abort interrupted a *structural* path
+        (repartition, HVM rebuild): registries may be mid-transition,
+        but the replica-log union always equals the key set at round
+        boundaries — the one invariant every maintenance path keeps.
+        """
+        union: dict[BitString, Any] = {}
+        for bid, log in self._block_items.items():
+            base = self._root_strings.get(bid)
+            if base is None:
+                continue
+            for rel, v in log.items():
+                union[base + rel] = v
+        keys = sorted(union)
+        vals = [union[k] for k in keys]
+        self.system.round(
+            "pimtrie.wipe",
+            {m: [True] for m in range(self.system.num_modules)},
+        )
+        self.block_module.clear()
+        self.block_parent.clear()
+        self.block_children.clear()
+        self.block_keys.clear()
+        self.block_depth.clear()
+        self._records.clear()
+        self._root_strings.clear()
+        self._block_items.clear()
+        self.piece_module.clear()
+        self.piece_parent.clear()
+        self.piece_children.clear()
+        self.piece_owned.clear()
+        self.piece_of_block.clear()
+        self.piece_root_block.clear()
+        self.master_pieces.clear()
+        self.root_block_id = None
+        self._query_trie = None
+        self._query_nodes = {}
+        self._query_strings = {}
+        self._maint_depth = 0
+        self._dirty_structure = False
+        self._bulk_build(keys, vals)
+
+    # ==================================================================
     # introspection
     # ==================================================================
     def validate(self) -> None:
@@ -1538,6 +1769,13 @@ class PIMTrie:
         roots = [b for b in phys_blocks if self.block_parent.get(b) is None]
         assert roots == [self.root_block_id]
 
+        # replica log mirrors the physical block contents exactly
+        assert set(self._block_items) == set(phys_blocks)
+        for bid, blk in phys_blocks.items():
+            assert (
+                dict(blk.trie.iter_items()) == self._block_items[bid]
+            ), f"replica log diverges from block {bid}"
+
         # records mirror
         assert set(self._records) == set(phys_blocks)
         for bid, rec in self._records.items():
@@ -1551,6 +1789,7 @@ class PIMTrie:
         owned_all = [b for p in phys_pieces.values() for b in p.owned]
         assert sorted(owned_all) == sorted(phys_blocks)
         for pid, piece in phys_pieces.items():
+            assert self.piece_root_block.get(pid) == piece.root_block
             assert piece.own_size() <= cfg.small_meta_bound or len(
                 phys_pieces
             ) == 1
@@ -1601,6 +1840,31 @@ class PIMTrie:
 # ----------------------------------------------------------------------
 # module-local helpers used by kernels
 # ----------------------------------------------------------------------
+def _graft_mirror(
+    trie: PatriciaTrie, rel: BitString, child_block_id: int
+) -> None:
+    """Re-attach the mirror leaf for a child block rooted at ``rel``
+    (block-relative) into a reconstructed block trie.
+
+    The mirror position may coincide with a stored key node (in-place
+    inserts can land exactly on a child-block boundary); the node then
+    keeps its key and merely gains the mirror mark.
+    """
+    r = trie.walk(rel)
+    pos = r.lcp_len
+    if isinstance(r.node, TrieNode):
+        node = r.node
+    else:
+        node = trie._split_edge(r.node.edge, r.node.offset)
+    if pos == len(rel):
+        node.mirror_child = child_block_id
+        return
+    leaf = TrieNode(len(rel))
+    leaf.mirror_child = child_block_id
+    node.attach(TrieEdge(rel.suffix_from(pos), leaf))
+    trie.edge_bits += len(rel) - pos
+
+
 def _remove_mirror(trie: PatriciaTrie, child_block_id: int) -> bool:
     """Delete the (leaf) mirror node referencing ``child_block_id`` and
     re-compress the path."""

@@ -1,0 +1,163 @@
+"""The fault-tolerance benchmark (E16): availability and latency under
+crashes, stragglers, and lossy transport.
+
+Writes ``BENCH_faults.json``.  Each scenario builds a fresh resident
+index and a seeded online trace, installs a :class:`FaultPlan`, replays
+the trace through :class:`repro.serve.EpochServer` (which recovers and
+retries), and records
+
+* **correctness** — every completed op's reply is compared against a
+  direct sequential replay of the same trace on a faultless twin
+  (``answers_match_replay``);
+* **availability** — fraction of ops answered (vs ``OP_FAILED``);
+* **degradation** — degraded epochs, segment retries, recovery rounds,
+  and the injector's raw event counters;
+* **latency** — p50/p95/p99 in simulated units, so the tail cost of
+  crash recovery and stragglers is visible next to the fault-free
+  baseline scenario.
+
+Scenario plans are expressed on injected-round indices (round 0 =
+first round after install, i.e. the first online round — the resident
+build is not subject to faults).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Optional
+
+from ..core import PIMTrie, PIMTrieConfig
+from ..perf import reset_id_counters
+from ..pim import PIMSystem
+from ..serve import EpochServer, policy_from_name, replay_direct
+from ..serve.trace import make_trace
+from ..workloads import uniform_keys
+from .plan import FaultPlan, StragglerSpec
+
+__all__ = ["SCENARIOS", "bench_scenario", "run_bench_faults"]
+
+FULL = {"P": 16, "resident": 512, "n_ops": 512, "length": 64, "rate": 0.25}
+SMOKE = {"P": 8, "resident": 192, "n_ops": 160, "length": 64, "rate": 0.25}
+POLICY = "deadline:20"
+
+
+def _scenario_plan(name: str, P: int) -> FaultPlan:
+    """The named fault schedule, scaled to ``P`` modules."""
+    if name == "none":
+        return FaultPlan.empty()
+    if name == "crash":
+        return FaultPlan(crashes={1: 5, P - 1: 40})
+    if name == "straggler":
+        return FaultPlan(
+            stragglers=(
+                StragglerSpec(module=0, factor=4.0, start_round=0, end_round=80),
+                StragglerSpec(module=2 % P, factor=2.0, start_round=20,
+                              end_round=120),
+            )
+        )
+    if name == "crash+straggler":
+        return FaultPlan(
+            crashes={1: 5, P - 1: 40},
+            stragglers=(
+                StragglerSpec(module=0, factor=4.0, start_round=0, end_round=80),
+            ),
+        )
+    if name == "lossy":
+        return FaultPlan(
+            drop_requests={(10, 0), (55, 1 % P)},
+            drop_replies={(25, m) for m in range(P)},
+            duplicate_replies={(35, 0), (35, 1 % P)},
+            transient_errors={(70, 2 % P)},
+        )
+    raise ValueError(f"unknown fault scenario {name!r}")
+
+
+SCENARIOS = ("none", "crash", "straggler", "crash+straggler", "lossy")
+
+
+def bench_scenario(
+    name: str,
+    *,
+    P: int,
+    resident: int,
+    n_ops: int,
+    length: int,
+    rate: float,
+    seed: int = 7,
+) -> dict[str, Any]:
+    """Run one fault scenario; returns its JSON record."""
+
+    def fresh() -> tuple[PIMSystem, PIMTrie]:
+        reset_id_counters()
+        system = PIMSystem(P, seed=1)
+        keys = uniform_keys(resident, length, seed=seed + 1)
+        trie = PIMTrie(
+            system, PIMTrieConfig(num_modules=P), keys=keys, values=keys
+        )
+        return system, trie
+
+    trace = make_trace(
+        n_ops, length=length, rate=rate, seed=seed, name=f"faults-{name}"
+    )
+    system, trie = fresh()
+    plan = _scenario_plan(name, P)
+    system.install_faults(plan)
+    server = EpochServer(trie, policy_from_name(POLICY))
+    report = server.run(trace)
+
+    # ground truth: the same trace applied sequentially, fault-free
+    _, twin = fresh()
+    direct = dict(replay_direct(twin, trace.ops))
+    served = {c.seq: c.reply for c in report.completed if c.ok}
+    matches = all(direct[seq] == reply for seq, reply in served.items())
+
+    lat = report.latency()
+    return {
+        "scenario": name,
+        "plan": plan.as_dict(),
+        "policy": report.policy,
+        "num_ops": report.num_ops,
+        "completed": len(report.completed),
+        "failed": report.failed,
+        "availability": report.availability,
+        "answers_match_replay": matches,
+        "degraded_epochs": report.degraded_epochs,
+        "retries": report.total_retries,
+        "recovery_rounds": report.total_recovery_rounds,
+        "faults": dict(report.faults),
+        "makespan": report.makespan,
+        "latency": {k: lat[k] for k in ("p50", "p95", "p99", "max")},
+        "io_rounds": report.metrics.io_rounds,
+        "communication": report.metrics.total_communication,
+    }
+
+
+def run_bench_faults(
+    out: Optional[str] = "BENCH_faults.json",
+    *,
+    smoke: bool = False,
+    seed: int = 7,
+) -> dict[str, Any]:
+    """Run every scenario; writes ``out`` and returns the report dict."""
+    cfg = dict(SMOKE if smoke else FULL)
+    rows = [
+        bench_scenario(name, seed=seed, **cfg) for name in SCENARIOS
+    ]
+    baseline = next(r for r in rows if r["scenario"] == "none")
+    report = {
+        "bench": "faults",
+        "profile": "smoke" if smoke else "full",
+        "config": {**cfg, "policy": POLICY, "seed": seed},
+        "scenarios": rows,
+        "headline": {
+            "all_correct": all(r["answers_match_replay"] for r in rows),
+            "min_availability": min(r["availability"] for r in rows),
+            "baseline_p99": baseline["latency"]["p99"],
+            "worst_p99": max(r["latency"]["p99"] for r in rows),
+            "total_recovery_rounds": sum(r["recovery_rounds"] for r in rows),
+        },
+    }
+    if out:
+        Path(out).write_text(json.dumps(report, indent=2, sort_keys=True))
+    return report

@@ -1,0 +1,231 @@
+"""Fault plans: deterministic, seed-driven failure schedules.
+
+A :class:`FaultPlan` is a pure description of *what goes wrong when*,
+keyed on the injector's round counter (rounds are numbered from 0
+starting at the moment the plan is installed, so plans compose with an
+arbitrary build phase that ran before them).  Five failure modes cover
+what UPMEM-class deployments report:
+
+* **crashes** — module ``m`` loses its entire local memory at the start
+  of round ``k`` and answers nothing until the host restarts and
+  rebuilds it;
+* **drop_requests** — the host→module buffer of round ``k`` is lost
+  before the kernel runs (the words still crossed the bus and are
+  charged);
+* **drop_replies** — the module→host buffer of round ``k`` is lost
+  *after* the kernel ran (crash-before-ack: side effects landed, the
+  host must retry idempotently);
+* **duplicate_replies** — the module's reply buffer is transmitted
+  twice (charged twice, delivered once);
+* **stragglers** — module ``m`` takes ``factor``× the round time over a
+  round interval (consumed by the serve layer's service model; PIM
+  Model counters stay exact);
+* **transient_errors** — the kernel launch of round ``k`` on module
+  ``m`` fails once (retry succeeds).
+
+Everything is hashable/immutable so a plan can be shared between twin
+runs, and :meth:`FaultPlan.random` derives a whole schedule from one
+seed for randomized testing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Any, Mapping, Optional
+
+import numpy as np
+
+__all__ = ["StragglerSpec", "FaultPlan", "FaultStats"]
+
+
+@dataclass(frozen=True)
+class StragglerSpec:
+    """Module ``module`` runs ``factor``× slower on rounds in
+    [``start_round``, ``end_round``) (``end_round=None`` = forever)."""
+
+    module: int
+    factor: float
+    start_round: int = 0
+    end_round: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.module < 0:
+            raise ValueError("straggler module must be >= 0")
+        if self.factor < 1.0:
+            raise ValueError("straggler factor must be >= 1.0")
+        if self.start_round < 0:
+            raise ValueError("start_round must be >= 0")
+        if self.end_round is not None and self.end_round < self.start_round:
+            raise ValueError("end_round must be >= start_round")
+
+    def active(self, round_index: int) -> bool:
+        if round_index < self.start_round:
+            return False
+        return self.end_round is None or round_index < self.end_round
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic failure schedule (see module docstring)."""
+
+    #: module id -> round at which it crashes (memory wiped)
+    crashes: Mapping[int, int] = field(default_factory=dict)
+    #: (round, module) pairs whose host->module buffer is lost
+    drop_requests: frozenset = frozenset()
+    #: (round, module) pairs whose module->host buffer is lost
+    drop_replies: frozenset = frozenset()
+    #: (round, module) pairs whose reply buffer is transmitted twice
+    duplicate_replies: frozenset = frozenset()
+    #: slow modules over round intervals
+    stragglers: tuple = ()
+    #: (round, module) pairs whose kernel launch fails once
+    transient_errors: frozenset = frozenset()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "crashes", dict(self.crashes))
+        object.__setattr__(self, "drop_requests", frozenset(self.drop_requests))
+        object.__setattr__(self, "drop_replies", frozenset(self.drop_replies))
+        object.__setattr__(
+            self, "duplicate_replies", frozenset(self.duplicate_replies)
+        )
+        object.__setattr__(self, "stragglers", tuple(self.stragglers))
+        object.__setattr__(
+            self, "transient_errors", frozenset(self.transient_errors)
+        )
+        for m, r in self.crashes.items():
+            if m < 0 or r < 0:
+                raise ValueError(f"bad crash entry module={m} round={r}")
+        for name in ("drop_requests", "drop_replies", "duplicate_replies",
+                     "transient_errors"):
+            for r, m in getattr(self, name):
+                if r < 0 or m < 0:
+                    raise ValueError(f"bad {name} entry (round={r}, module={m})")
+        for s in self.stragglers:
+            if not isinstance(s, StragglerSpec):
+                raise TypeError("stragglers must be StragglerSpec instances")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls) -> "FaultPlan":
+        return cls()
+
+    def is_empty(self) -> bool:
+        return not (
+            self.crashes
+            or self.drop_requests
+            or self.drop_replies
+            or self.duplicate_replies
+            or self.stragglers
+            or self.transient_errors
+        )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def random(
+        cls,
+        num_modules: int,
+        *,
+        seed: int,
+        horizon: int = 200,
+        crash_rate: float = 0.1,
+        drop_rate: float = 0.01,
+        duplicate_rate: float = 0.005,
+        straggler_rate: float = 0.1,
+        transient_rate: float = 0.01,
+        max_straggle_factor: float = 8.0,
+    ) -> "FaultPlan":
+        """Derive a whole schedule from one seed.
+
+        ``crash_rate``/``straggler_rate`` are per-module probabilities;
+        the drop/duplicate/transient rates are per (round, module) cell
+        over the ``horizon``.  At most ``num_modules - 1`` modules crash
+        so the system always keeps a survivor.
+        """
+        if num_modules < 1:
+            raise ValueError("num_modules must be >= 1")
+        if horizon < 1:
+            raise ValueError("horizon must be >= 1")
+        rng = np.random.default_rng(seed)
+        crashes: dict[int, int] = {}
+        for m in range(num_modules):
+            if len(crashes) >= num_modules - 1:
+                break
+            if rng.random() < crash_rate:
+                crashes[m] = int(rng.integers(horizon))
+        stragglers = []
+        for m in range(num_modules):
+            if rng.random() < straggler_rate:
+                start = int(rng.integers(horizon))
+                end = start + int(rng.integers(1, horizon))
+                factor = 1.0 + float(rng.random()) * (max_straggle_factor - 1.0)
+                stragglers.append(StragglerSpec(m, factor, start, end))
+
+        def cells(rate: float) -> frozenset:
+            n = rng.binomial(horizon * num_modules, min(1.0, rate))
+            out = set()
+            for _ in range(int(n)):
+                out.add((int(rng.integers(horizon)), int(rng.integers(num_modules))))
+            return frozenset(out)
+
+        return cls(
+            crashes=crashes,
+            drop_requests=cells(drop_rate),
+            drop_replies=cells(drop_rate),
+            duplicate_replies=cells(duplicate_rate),
+            stragglers=tuple(stragglers),
+            transient_errors=cells(transient_rate),
+        )
+
+    # ------------------------------------------------------------------
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "crashes": {str(m): r for m, r in sorted(self.crashes.items())},
+            "drop_requests": sorted(self.drop_requests),
+            "drop_replies": sorted(self.drop_replies),
+            "duplicate_replies": sorted(self.duplicate_replies),
+            "stragglers": [
+                [s.module, s.factor, s.start_round, s.end_round]
+                for s in self.stragglers
+            ],
+            "transient_errors": sorted(self.transient_errors),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultPlan(crashes={len(self.crashes)}, "
+            f"drops={len(self.drop_requests)}+{len(self.drop_replies)}, "
+            f"dups={len(self.duplicate_replies)}, "
+            f"stragglers={len(self.stragglers)}, "
+            f"transients={len(self.transient_errors)})"
+        )
+
+
+@dataclass
+class FaultStats:
+    """Counters the injector and recovery layer accumulate."""
+
+    crashes: int = 0
+    transient_errors: int = 0
+    dropped_requests: int = 0
+    dropped_replies: int = 0
+    duplicated_replies: int = 0
+    straggle_events: int = 0
+    aborted_rounds: int = 0
+    restarts: int = 0
+    retries: int = 0
+    recoveries: int = 0
+    rebuild_rounds: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, int]) -> "FaultStats":
+        names = {f.name for f in fields(cls)}
+        unknown = set(d) - names
+        if unknown:
+            raise ValueError(f"unknown FaultStats fields: {sorted(unknown)}")
+        return cls(**{k: int(v) for k, v in d.items()})
+
+    def any_faults(self) -> bool:
+        return any(getattr(self, f.name) for f in fields(self))

@@ -118,6 +118,34 @@ class MetricsSnapshot:
             out["per_module_work"] = list(self.per_module_work)
         return out
 
+    @classmethod
+    def from_dict(cls, d: dict) -> "MetricsSnapshot":
+        """Rebuild a snapshot from ``as_dict(include_per_module=True)``
+        output (e.g. parsed back out of a benchmark JSON).
+
+        The derived imbalance ratios in the dict are ignored — they are
+        recomputed from the per-module distributions, which must be
+        present (the ``include_per_module=False`` form is lossy).
+        """
+        missing = [
+            k for k in ("per_module_traffic", "per_module_work") if k not in d
+        ]
+        if missing:
+            raise ValueError(
+                f"snapshot dict lacks {missing}; serialize with "
+                f"as_dict(include_per_module=True) to round-trip"
+            )
+        return cls(
+            io_rounds=int(d["io_rounds"]),
+            io_time=int(d["io_time"]),
+            total_communication=int(d["total_communication"]),
+            pim_time=int(d["pim_time"]),
+            pim_work=int(d["pim_work"]),
+            cpu_work=int(d["cpu_work"]),
+            per_module_traffic=tuple(int(x) for x in d["per_module_traffic"]),
+            per_module_work=tuple(int(x) for x in d["per_module_work"]),
+        )
+
 
 class MetricsCollector:
     """Accumulates PIM Model costs across rounds for one PIMSystem."""

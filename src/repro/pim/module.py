@@ -63,6 +63,17 @@ class ModuleContext:
         """Meter ``n`` units of PIM processor work."""
         self.work += n
 
+    def wipe(self) -> None:
+        """Power-cycle the module: all local memory is lost.
+
+        The ``work`` meter survives — it is the simulator's odometer
+        (kernel-work deltas are computed against it mid-round), not
+        module state.
+        """
+        self.heap.clear()
+        self.scratch.clear()
+        self._next_addr = 1
+
     def memory_words(self, sizer: Optional[Callable[[Any], int]] = None) -> int:
         """Approximate local memory footprint in words."""
         if sizer is None:
@@ -83,6 +94,12 @@ class PIMModule:
         self.context = ModuleContext(module_id)
         self.inbox: list[Any] = []
         self.outbox: list[Any] = []
+
+    def wipe(self) -> None:
+        """Crash the module: local memory and in-flight buffers are lost."""
+        self.context.wipe()
+        self.inbox.clear()
+        self.outbox.clear()
 
     @property
     def module_id(self) -> int:

@@ -170,6 +170,8 @@ class PIMSystem:
         self.word_cost = word_cost
         self.rng = np.random.default_rng(seed)
         self._kernels: dict[str, Kernel] = {}
+        #: installed fault injector (repro.faults); None = no fault layer
+        self.faults = None
 
     # ------------------------------------------------------------------
     # kernel registry ("the host CPU can load programs to PIM modules")
@@ -185,7 +187,11 @@ class PIMSystem:
         if name in self._kernels:
             if self._kernels[name] is fn:
                 return
-            raise ValueError(f"kernel {name!r} already registered")
+            raise ValueError(
+                f"kernel {name!r} already registered to a different function "
+                f"({self._kernels[name]!r}); reloading is only a no-op for "
+                f"the identical function object"
+            )
         self._kernels[name] = fn
 
     def kernel(self, name: str) -> Callable[[Kernel], Kernel]:
@@ -225,18 +231,37 @@ class PIMSystem:
         if not isinstance(requests, Mapping):
             requests = {m: reqs for m, reqs in enumerate(requests)}
 
+        # validate every module id (even with an empty request list)
+        # before any kernel runs: a bad id is a programming error, and
+        # validating lazily inside the execution loop would let kernels
+        # on earlier modules run — leaving side effects behind with no
+        # round recorded — before the error surfaced
+        for mid in requests:
+            if not 0 <= mid < self.num_modules:
+                raise IndexError(
+                    f"module id {mid} out of range for P={self.num_modules}"
+                )
+
         words_to = [0] * self.num_modules
         words_from = [0] * self.num_modules
         kernel_work = [0] * self.num_modules
         replies: dict[int, list] = {}
-
         wc = self.word_cost
+
+        faults = self.faults
+        verdict = faults.begin_round(requests) if faults is not None else None
+        if verdict is not None and verdict.error is not None:
+            # the round dies before any kernel launches: the host still
+            # wrote its buffers, so charge words_to and record the round
+            # with zero kernel work and zero replies, then unwind
+            for mid, reqs in requests.items():
+                if reqs:
+                    words_to[mid] += sum(map(wc, reqs))
+            self.metrics.record_round(words_to, words_from, kernel_work)
+            raise verdict.error
+
         copy_requests = not fastpath.ENABLED
         for mid, reqs in requests.items():
-            # validate even for empty request lists: a bad module id is a
-            # programming error whether or not anything ships this round
-            if not 0 <= mid < self.num_modules:
-                raise IndexError(f"module id {mid} out of range")
             if not reqs:
                 continue
             words_to[mid] += sum(map(wc, reqs))
@@ -252,12 +277,38 @@ class PIMSystem:
             words_from[mid] += sum(map(wc, out))
             replies[mid] = out
 
+        error = None
+        if verdict is not None:
+            error = faults.end_round(verdict, replies, words_from)
         self.metrics.record_round(words_to, words_from, kernel_work)
+        if error is not None:
+            # post-kernel abort (lost reply buffer): the kernels ran and
+            # the full round is on the books — crash-before-ack
+            raise error
         return replies
 
     def broadcast(self, kernel: str | Kernel, request: Any) -> dict[int, list]:
         """Run a kernel with the same single request on every module."""
         return self.round(kernel, {m: [request] for m in range(self.num_modules)})
+
+    # ------------------------------------------------------------------
+    # fault injection (repro.faults)
+    # ------------------------------------------------------------------
+    def install_faults(self, plan) -> "Any":
+        """Install a :class:`repro.faults.FaultPlan`; returns the injector.
+
+        Plan rounds are numbered from 0 starting *now* (installing
+        resets the injected-round clock), so plans are independent of
+        whatever build phase ran before.  Replaces any prior injector.
+        """
+        from ..faults.injector import FaultInjector
+
+        self.faults = FaultInjector(self, plan)
+        return self.faults
+
+    def clear_faults(self) -> None:
+        """Remove the fault layer entirely (rounds run untouched)."""
+        self.faults = None
 
     # ------------------------------------------------------------------
     # placement and bookkeeping helpers

@@ -16,7 +16,14 @@ Entry points: ``python -m repro serve [--smoke]`` and
 
 from .scheduler import ContinuousBatchingScheduler, SchedulerPolicy, policy_from_name
 from .server import EpochServer, replay_direct
-from .slo import CompletedOp, EpochRecord, ServiceReport, latency_stats, percentile
+from .slo import (
+    OP_FAILED,
+    CompletedOp,
+    EpochRecord,
+    ServiceReport,
+    latency_stats,
+    percentile,
+)
 from .trace import Operation, Trace, make_trace
 
 __all__ = [
@@ -25,6 +32,7 @@ __all__ = [
     "policy_from_name",
     "EpochServer",
     "replay_direct",
+    "OP_FAILED",
     "CompletedOp",
     "EpochRecord",
     "ServiceReport",

@@ -17,7 +17,13 @@ pluggable batching policy:
   finds the queue full is rejected (backpressure surfaced to the
   client) rather than enqueued.  Capacity must be at least
   ``max_batch`` so that drop accounting stays exact under the lazy
-  arrival processing the event loop uses.
+  arrival processing the event loop uses;
+* **degraded_capacity** — graceful degradation under faults: while the
+  server reports itself degraded (crashed modules awaiting recovery, or
+  an interrupted structural rebuild), admission uses this tighter queue
+  bound instead of ``queue_capacity``, shedding load so the backlog
+  stays small while capacity is reduced.  ``None`` (default) disables
+  the distinction.
 
 The time-advancing event loop itself lives in
 :class:`repro.serve.server.EpochServer`; this module is pure queue
@@ -44,6 +50,7 @@ class SchedulerPolicy:
     max_wait: float = 0.0
     affinity: bool = False
     queue_capacity: Optional[int] = None
+    degraded_capacity: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
@@ -55,13 +62,29 @@ class SchedulerPolicy:
                 "queue_capacity must be >= max_batch (admission accounting "
                 "relies on the queue never overflowing while a batch fills)"
             )
+        if self.degraded_capacity is not None:
+            if self.degraded_capacity < 1:
+                raise ValueError("degraded_capacity must be >= 1")
+            if (
+                self.queue_capacity is not None
+                and self.degraded_capacity > self.queue_capacity
+            ):
+                raise ValueError(
+                    "degraded_capacity must not exceed queue_capacity "
+                    "(degradation sheds load, it does not add headroom)"
+                )
 
     def describe(self) -> str:
         cap = "inf" if self.queue_capacity is None else str(self.queue_capacity)
+        deg = (
+            ""
+            if self.degraded_capacity is None
+            else f", degraded={self.degraded_capacity}"
+        )
         return (
             f"{self.name}(max_batch={self.max_batch}, "
             f"max_wait={self.max_wait:g}, affinity={self.affinity}, "
-            f"capacity={cap})"
+            f"capacity={cap}{deg})"
         )
 
 
@@ -107,9 +130,15 @@ class ContinuousBatchingScheduler:
     # ------------------------------------------------------------------
     # admission control
     # ------------------------------------------------------------------
-    def admit(self, op: Operation) -> bool:
-        """Enqueue ``op``; reject (and record) it if the queue is full."""
+    def admit(self, op: Operation, *, degraded: bool = False) -> bool:
+        """Enqueue ``op``; reject (and record) it if the queue is full.
+
+        While ``degraded`` (server healing from faults) the policy's
+        ``degraded_capacity`` bound applies instead, if configured.
+        """
         cap = self.policy.queue_capacity
+        if degraded and self.policy.degraded_capacity is not None:
+            cap = self.policy.degraded_capacity
         if cap is not None and len(self.pending) >= cap:
             self.dropped.append(op)
             return False

@@ -27,6 +27,19 @@ the trade-off the batching policies navigate.
 Replies are demultiplexed back to per-op :class:`CompletedOp` records
 stamped with launch/completion times and three latency readings
 (simulated units, IO rounds, wall-clock); see :mod:`repro.serve.slo`.
+
+**Fault tolerance.**  When the underlying system carries a
+:class:`repro.faults.FaultInjector`, segments that die with
+:class:`RoundAborted` are recovered (:func:`repro.faults.recover`) and
+retried with exponential backoff charged to the epoch's service time;
+after ``max_retries`` the segment's ops complete with the
+:data:`~repro.serve.slo.OP_FAILED` sentinel instead of stalling the
+queue.  Epochs additionally start with a *proactive* recovery sweep
+(crashed modules are rebuilt before new work launches), straggler
+penalties accrued by the injector are folded into epoch service time,
+and while the server is degraded admission can shed load via the
+policy's ``degraded_capacity``.  All of it is inert on a fault-free
+system: the fault path adds one attribute check per epoch.
 """
 
 from __future__ import annotations
@@ -35,9 +48,10 @@ import time as _time
 from typing import Any, Optional, Sequence
 
 from ..core import PIMTrie
+from ..faults import RoundAborted, recover
 from ..pim import MetricsSnapshot
 from .scheduler import ContinuousBatchingScheduler, SchedulerPolicy
-from .slo import CompletedOp, EpochRecord, ServiceReport
+from .slo import OP_FAILED, CompletedOp, EpochRecord, ServiceReport
 from .trace import Operation, Trace
 
 __all__ = ["EpochServer", "replay_direct"]
@@ -79,19 +93,61 @@ class EpochServer:
         *,
         round_time: float = 1.0,
         word_time: float = 0.001,
+        max_retries: int = 4,
+        retry_backoff: float = 0.5,
     ):
         if round_time < 0 or word_time < 0:
             raise ValueError("service-model coefficients must be >= 0")
+        if max_retries < 0 or retry_backoff < 0:
+            raise ValueError("retry parameters must be >= 0")
         self.trie = trie
         self.system = trie.system
         self.policy = policy
         self.round_time = round_time
         self.word_time = word_time
+        self.max_retries = max_retries
+        self.retry_backoff = retry_backoff
 
     # ------------------------------------------------------------------
     def service_time(self, delta: MetricsSnapshot) -> float:
         """Simulated duration of an epoch from its PIM metrics delta."""
         return self.round_time * delta.io_rounds + self.word_time * delta.io_time
+
+    # ------------------------------------------------------------------
+    def _degraded(self) -> bool:
+        """Is the index currently healing (crashed or dirty state)?"""
+        inj = getattr(self.system, "faults", None)
+        return bool(
+            (inj is not None and inj.crashed)
+            or getattr(self.trie, "_dirty_structure", False)
+        )
+
+    def _run_segment(
+        self, kind: str, ops: list[Operation], ep: dict
+    ) -> list[Any]:
+        """Execute one segment, recovering and retrying on aborts.
+
+        Retries are idempotent (every PIMTrie batch op is); backoff and
+        recovery are accounted into ``ep`` and the epoch's service time.
+        On exhaustion the system is still healed — subsequent segments
+        and epochs proceed — but these ops answer :data:`OP_FAILED`.
+        """
+        attempt = 0
+        while True:
+            try:
+                return _execute_segment(self.trie, kind, ops)
+            except RoundAborted as e:
+                attempt += 1
+                ep["causes"].append(e.cause)
+                inj = getattr(self.system, "faults", None)
+                if inj is not None:
+                    inj.stats.retries += 1
+                ep["recovery_rounds"] += recover(self.trie)
+                if attempt > self.max_retries:
+                    ep["failed"] += len(ops)
+                    return [OP_FAILED] * len(ops)
+                ep["retries"] += 1
+                ep["backoff"] += self.retry_backoff * 2.0 ** (attempt - 1)
 
     # ------------------------------------------------------------------
     def run(self, trace: Trace) -> ServiceReport:
@@ -107,13 +163,14 @@ class EpochServer:
         wall_at_admit: dict[int, float] = {}
         cum_rounds = 0
         cum_wall = 0.0
+        failed_total = 0
         free_at = 0.0  # when the server finishes its current epoch
         i = 0  # next unprocessed arrival
         before_all = self.system.snapshot()
 
         def admit(op: Operation) -> None:
             nonlocal i
-            if sched.admit(op):
+            if sched.admit(op, degraded=self._degraded()):
                 rounds_at_admit[op.seq] = cum_rounds
                 wall_at_admit[op.seq] = cum_wall
             i += 1
@@ -157,15 +214,29 @@ class EpochServer:
 
             before = self.system.snapshot()
             t0 = _time.perf_counter()
+            ep = {"retries": 0, "recovery_rounds": 0, "failed": 0,
+                  "backoff": 0.0, "causes": []}
+            # proactive recovery: heal crashes left over from a previous
+            # epoch before launching new work (its rounds land in this
+            # epoch's metrics delta, and therefore its service time)
+            if self._degraded():
+                ep["recovery_rounds"] += recover(self.trie)
             replies: list[Any] = []
             kinds: list[str] = []
             for kind, seg in _segments(batch):
                 kinds.append(kind)
-                replies.extend(_execute_segment(self.trie, kind, seg))
+                replies.extend(self._run_segment(kind, seg, ep))
             wall = _time.perf_counter() - t0
             delta = self.system.snapshot().delta(before)
 
-            service = self.service_time(delta)
+            inj = getattr(self.system, "faults", None)
+            straggle = inj.take_straggle_penalty() if inj is not None else 0.0
+            service = (
+                self.service_time(delta)
+                + straggle * self.round_time
+                + ep["backoff"]
+            )
+            failed_total += ep["failed"]
             completion = launch + service
             free_at = completion
             cum_rounds += delta.io_rounds
@@ -178,6 +249,12 @@ class EpochServer:
                     io_rounds=delta.io_rounds, io_time=delta.io_time,
                     communication=delta.total_communication,
                     pim_time=delta.pim_time, wall_seconds=wall,
+                    degraded=bool(
+                        ep["causes"] or ep["recovery_rounds"] or straggle > 0
+                    ),
+                    retries=ep["retries"],
+                    recovery_rounds=ep["recovery_rounds"],
+                    causes=tuple(ep["causes"]),
                 )
             )
             for op, reply in zip(batch, replies):
@@ -189,10 +266,17 @@ class EpochServer:
                         reply=reply,
                         latency_rounds=cum_rounds - rounds_at_admit[op.seq],
                         wall_seconds=cum_wall - wall_at_admit[op.seq],
+                        ok=reply is not OP_FAILED,
                     )
                 )
 
         metrics = self.system.snapshot().delta(before_all)
+        inj = getattr(self.system, "faults", None)
+        fault_stats = (
+            inj.stats.as_dict()
+            if inj is not None and inj.stats.any_faults()
+            else {}
+        )
         return ServiceReport(
             policy=policy.describe(),
             trace=trace.name,
@@ -203,6 +287,8 @@ class EpochServer:
             metrics=metrics,
             round_time=self.round_time,
             word_time=self.word_time,
+            failed=failed_total,
+            faults=fault_stats,
             extra={"max_batch": policy.max_batch},
         )
 

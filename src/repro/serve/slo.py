@@ -25,7 +25,27 @@ from typing import Any, Optional, Sequence
 
 from ..pim import MetricsSnapshot
 
-__all__ = ["percentile", "latency_stats", "CompletedOp", "EpochRecord", "ServiceReport"]
+__all__ = [
+    "percentile",
+    "latency_stats",
+    "CompletedOp",
+    "EpochRecord",
+    "ServiceReport",
+    "OP_FAILED",
+]
+
+
+class _OpFailed:
+    """Sentinel reply for an op whose segment exhausted its fault
+    retries: the client gets an error, not a stale or partial answer."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "OP_FAILED"
+
+
+OP_FAILED = _OpFailed()
 
 PERCENTILES = (50, 95, 99)
 
@@ -63,6 +83,8 @@ class CompletedOp:
     reply: Any
     latency_rounds: int
     wall_seconds: float
+    #: False when the reply is :data:`OP_FAILED` (fault retries exhausted)
+    ok: bool = True
 
     @property
     def latency(self) -> float:
@@ -85,6 +107,11 @@ class EpochRecord:
     communication: int
     pim_time: int
     wall_seconds: float
+    #: fault bookkeeping (all zero/empty on a fault-free run)
+    degraded: bool = False  # this epoch saw aborts, recovery, or stragglers
+    retries: int = 0  # segment retries inside this epoch
+    recovery_rounds: int = 0  # IO rounds spent rebuilding lost state
+    causes: tuple[str, ...] = ()  # RoundAborted causes observed
 
 
 @dataclass
@@ -100,6 +127,10 @@ class ServiceReport:
     metrics: MetricsSnapshot  # PIM Model delta across all epochs
     round_time: float
     word_time: float
+    #: ops whose replies are :data:`OP_FAILED` (fault retries exhausted)
+    failed: int = 0
+    #: injector counters (``FaultStats.as_dict``); empty = fault-free run
+    faults: dict = field(default_factory=dict)
     extra: dict = field(default_factory=dict)
 
     # ------------------------------------------------------------------
@@ -133,6 +164,29 @@ class ServiceReport:
             return {"mean": 0.0, "max": 0.0}
         return {"mean": sum(depths) / len(depths), "max": float(max(depths))}
 
+    # ------------------------------------------------------------------
+    # fault / graceful-degradation SLOs
+    # ------------------------------------------------------------------
+    @property
+    def availability(self) -> float:
+        """Fraction of completed ops answered successfully."""
+        n = len(self.completed)
+        if n == 0:
+            return 1.0
+        return sum(1 for c in self.completed if c.ok) / n
+
+    @property
+    def degraded_epochs(self) -> int:
+        return sum(1 for e in self.epochs if e.degraded)
+
+    @property
+    def total_retries(self) -> int:
+        return sum(e.retries for e in self.epochs)
+
+    @property
+    def total_recovery_rounds(self) -> int:
+        return sum(e.recovery_rounds for e in self.epochs)
+
     def latency(self) -> dict[str, float]:
         return latency_stats([c.latency for c in self.completed])
 
@@ -163,6 +217,16 @@ class ServiceReport:
             "word_time": self.word_time,
             "metrics": self.metrics.as_dict(include_per_module=include_per_module),
         }
+        if self.faults or self.failed:
+            # fault-free runs keep their original output bytes — the
+            # recovery block appears only when there was something to
+            # recover from
+            out["failed"] = self.failed
+            out["availability"] = self.availability
+            out["degraded_epochs"] = self.degraded_epochs
+            out["retries"] = self.total_retries
+            out["recovery_rounds"] = self.total_recovery_rounds
+            out["faults"] = dict(self.faults)
         if include_wall:
             out["latency_wall_seconds"] = self.latency_wall()
             out["wall_seconds_total"] = sum(e.wall_seconds for e in self.epochs)
@@ -192,6 +256,13 @@ class ServiceReport:
             f"{m.total_communication} words, pim_time {m.pim_time}, "
             f"imbalance {m.traffic_imbalance():.3f}",
         ]
+        if self.faults or self.failed:
+            lines.append(
+                f"faults: availability {self.availability:.4f} "
+                f"({self.failed} failed), {self.degraded_epochs} degraded "
+                f"epochs, {self.total_retries} retries, "
+                f"{self.total_recovery_rounds} recovery rounds"
+            )
         if not deterministic_only:
             wall = self.latency_wall()
             total = sum(e.wall_seconds for e in self.epochs)

@@ -1,0 +1,315 @@
+"""Differential-testing harness: seeded op sequences, reference oracle,
+divergence detection, and shrinking.
+
+The harness generates randomized-but-reproducible sequences of batched
+operations (insert / delete / lcp / lookup / subtree) and replays each
+sequence through every registered index implementation plus a plain
+in-memory oracle (:class:`DictOracle`).  All indexes must produce the
+oracle's answers — batching, distribution, and placement are execution
+strategies, never semantic changes.
+
+Key-generation is adversarial on purpose: keys are drawn from a small
+pool of shared anchors, bit-flipped and prefix-extended variants of
+those anchors, previously inserted keys (hits), and fresh random keys
+(misses), with variable lengths — so LCP collisions, prefix-of-a-key
+queries, deletes of absent keys, and duplicate inserts inside one batch
+all occur with high probability in every sequence.
+
+When a sequence diverges, :func:`shrink` greedily minimizes it (drop
+whole batches, then single ops) while preserving the failure, so the
+pytest assertion message contains a small hand-checkable repro.
+
+Used by ``tests/test_differential.py``; importable from other tests.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Optional
+
+from repro import BitString, PIMSystem, PIMTrie, PIMTrieConfig
+from repro.baselines import DistributedRadixTree, RangePartitionedIndex
+from repro.perf import reset_id_counters
+
+__all__ = [
+    "DictOracle",
+    "TARGETS",
+    "gen_ops",
+    "run_sequence",
+    "divergences",
+    "shrink",
+    "format_ops",
+]
+
+P = 4  # small on purpose: more cross-module interaction per key
+MAX_BITS = 24
+
+
+# ----------------------------------------------------------------------
+class DictOracle:
+    """Reference semantics over a plain dict of BitString -> value.
+
+    ``lcp`` is the longest common prefix of the query with *any* stored
+    key — exactly what a trie walk computes, since a trie's paths are
+    the union of prefixes of stored keys.
+    """
+
+    def __init__(self) -> None:
+        self.store: dict[BitString, Any] = {}
+        #: every key ever inserted — the path set of a lazy-deletion
+        #: structure (dist-radix unmarks keys but keeps their paths)
+        self.ever: set[BitString] = set()
+
+    def lcp_batch(self, keys: list[BitString]) -> list[int]:
+        return [
+            max((k.lcp_len(s) for s in self.store), default=0) for k in keys
+        ]
+
+    def lcp_ever_batch(self, keys: list[BitString]) -> list[int]:
+        return [
+            max((k.lcp_len(s) for s in self.ever), default=0) for k in keys
+        ]
+
+    def lookup_batch(self, keys: list[BitString]) -> list[Any]:
+        return [self.store.get(k) for k in keys]
+
+    def insert_batch(self, keys: list[BitString], values: list[Any]) -> None:
+        for k, v in zip(keys, values):  # in order: last write wins
+            self.store[k] = v
+            self.ever.add(k)
+
+    def delete_batch(self, keys: list[BitString]) -> None:
+        for k in keys:
+            self.store.pop(k, None)
+
+    def subtree_batch(
+        self, prefixes: list[BitString]
+    ) -> list[list[tuple[BitString, Any]]]:
+        return [
+            sorted(
+                ((k, v) for k, v in self.store.items() if k.starts_with(p)),
+                key=lambda kv: kv[0],
+            )
+            for p in prefixes
+        ]
+
+
+# ----------------------------------------------------------------------
+def make_pimtrie() -> PIMTrie:
+    reset_id_counters()
+    system = PIMSystem(P, seed=1)
+    return PIMTrie(system, PIMTrieConfig(num_modules=P))
+
+
+def make_radix() -> DistributedRadixTree:
+    # span=1 is the binary radix tree, whose LCP/subtree semantics are
+    # exact for arbitrary-length keys (wider spans are chunk-aligned)
+    return DistributedRadixTree(PIMSystem(P, seed=1), span=1)
+
+
+def make_range() -> RangePartitionedIndex:
+    return RangePartitionedIndex(PIMSystem(P, seed=1))
+
+
+#: name -> zero-arg factory for every differential target
+TARGETS: dict[str, Callable[[], Any]] = {
+    "pim-trie": make_pimtrie,
+    "dist-radix": make_radix,
+    "range-partition": make_range,
+}
+
+
+# ----------------------------------------------------------------------
+# op-sequence generation
+# ----------------------------------------------------------------------
+def _rand_key(rng: random.Random, bits: Optional[int] = None) -> BitString:
+    n = bits if bits is not None else rng.randint(4, MAX_BITS)
+    return BitString(rng.getrandbits(n), n)
+
+
+def _collision_key(
+    rng: random.Random, anchors: list[BitString], inserted: list[BitString]
+) -> BitString:
+    """A key engineered to collide with existing paths."""
+    roll = rng.random()
+    if inserted and roll < 0.35:
+        return rng.choice(inserted)  # exact hit
+    base = rng.choice(anchors if not inserted or roll < 0.7 else inserted)
+    mode = rng.randrange(3)
+    if mode == 0 and len(base) > 1:  # flip one bit: long shared prefix
+        i = rng.randrange(len(base))
+        return BitString(base.value ^ (1 << (len(base) - 1 - i)), len(base))
+    if mode == 1:  # extend: base becomes a proper prefix
+        extra = rng.randint(1, 6)
+        return base + BitString(rng.getrandbits(extra), extra)
+    return base.prefix(rng.randint(1, len(base)))  # truncate: query above
+
+
+def gen_ops(
+    seed: int, *, batches: int = 8, batch_size: int = 5
+) -> list[tuple[str, list]]:
+    """A reproducible sequence of (kind, payload) batches.
+
+    Payloads are ``[(key, value), ...]`` for inserts and ``[key, ...]``
+    otherwise.  Values are unique strings so lookup answers are
+    unambiguous (a ``None`` reply always means "absent").
+    """
+    rng = random.Random(seed)
+    anchors = [_rand_key(rng) for _ in range(4)]
+    inserted: list[BitString] = []
+    serial = 0
+    ops: list[tuple[str, list]] = []
+    for b in range(batches):
+        # front-load writes so reads have something to find
+        kind = rng.choices(
+            ["insert", "delete", "lcp", "lookup", "subtree"],
+            weights=[4, 2, 3, 2, 2] if b else [1, 0, 0, 0, 0],
+        )[0]
+        size = rng.randint(1, batch_size)
+        if kind == "insert":
+            payload = []
+            for _ in range(size):
+                k = _collision_key(rng, anchors, inserted)
+                payload.append((k, f"v{serial}"))
+                serial += 1
+                inserted.append(k)
+        elif kind == "subtree":
+            payload = []
+            for _ in range(size):
+                k = _collision_key(rng, anchors, inserted)
+                payload.append(k.prefix(rng.randint(1, min(8, len(k)))))
+        else:  # delete / lcp / lookup
+            payload = [
+                _collision_key(rng, anchors, inserted) for _ in range(size)
+            ]
+            if kind == "delete":
+                gone = set(payload)
+                inserted = [k for k in inserted if k not in gone]
+        ops.append((kind, payload))
+    return ops
+
+
+# ----------------------------------------------------------------------
+# replay and comparison
+# ----------------------------------------------------------------------
+def _normalize(kind: str, reply: Any) -> Any:
+    if kind == "subtree":
+        return [sorted((str(k), v) for k, v in items) for items in reply]
+    return reply
+
+
+def apply_batch(index: Any, kind: str, payload: list) -> Any:
+    """Run one batch; returns the normalized reply (None for writes)."""
+    if kind == "insert":
+        index.insert_batch([k for k, _ in payload], [v for _, v in payload])
+        return None
+    if kind == "delete":
+        index.delete_batch(list(payload))
+        return None
+    if kind == "lookup":
+        if not hasattr(index, "lookup_batch"):
+            return None  # dist-radix exposes no point lookup
+        return list(index.lookup_batch(list(payload)))
+    if kind == "lcp":
+        return list(index.lcp_batch(list(payload)))
+    if kind == "subtree":
+        return _normalize("subtree", index.subtree_batch(list(payload)))
+    raise ValueError(f"unknown op kind {kind!r}")
+
+
+def run_sequence(factory: Callable[[], Any], ops: list) -> list[Any]:
+    """Replies of one target over a full sequence, batch by batch."""
+    index = factory()
+    return [apply_batch(index, kind, payload) for kind, payload in ops]
+
+
+#: targets whose deletion is lazy (paths survive), making their LCP
+#: range over every key ever inserted rather than the live key set —
+#: dist-radix documents this as the standard radix-tree trade-off
+LAZY_LCP = {"dist-radix"}
+
+
+def _oracle_replies(ops: list) -> tuple[list[Any], list[Any]]:
+    """Oracle replies under live-key LCP and ever-inserted LCP."""
+    oracle = DictOracle()
+    live: list[Any] = []
+    ever: list[Any] = []
+    for kind, payload in ops:
+        reply = apply_batch(oracle, kind, payload)
+        live.append(reply)
+        ever.append(
+            oracle.lcp_ever_batch(list(payload)) if kind == "lcp" else reply
+        )
+    return live, ever
+
+
+def divergences(
+    ops: list, targets: Optional[dict[str, Callable[[], Any]]] = None
+) -> list[str]:
+    """Run ``ops`` on the oracle and every target; describe mismatches."""
+    targets = TARGETS if targets is None else targets
+    live, ever = _oracle_replies(ops)
+    out: list[str] = []
+    for name, factory in targets.items():
+        expected = ever if name in LAZY_LCP else live
+        got = run_sequence(factory, ops)
+        for i, (kind, payload) in enumerate(ops):
+            if got[i] is None:  # write batch or unsupported op
+                continue
+            if got[i] != expected[i]:
+                out.append(
+                    f"{name}: batch {i} ({kind}) -> {got[i]!r}, "
+                    f"oracle -> {expected[i]!r}"
+                )
+    return out
+
+
+# ----------------------------------------------------------------------
+# shrinking
+# ----------------------------------------------------------------------
+def shrink(
+    ops: list, failing: Callable[[list], bool], *, rounds: int = 4
+) -> list:
+    """Greedy delta-debugging: smallest sub-sequence still failing."""
+    cur = list(ops)
+    for _ in range(rounds):
+        changed = False
+        # pass 1: drop whole batches
+        i = 0
+        while i < len(cur):
+            cand = cur[:i] + cur[i + 1:]
+            if cand and failing(cand):
+                cur = cand
+                changed = True
+            else:
+                i += 1
+        # pass 2: drop single ops inside batches
+        for i, (kind, payload) in enumerate(cur):
+            j = 0
+            while j < len(cur[i][1]):
+                payload = cur[i][1]
+                cand_payload = payload[:j] + payload[j + 1:]
+                if not cand_payload:
+                    j += 1
+                    continue
+                cand = cur[:i] + [(kind, cand_payload)] + cur[i + 1:]
+                if failing(cand):
+                    cur = cand
+                    changed = True
+                else:
+                    j += 1
+        if not changed:
+            break
+    return cur
+
+
+def format_ops(ops: list) -> str:
+    """Readable repro script for an assertion message."""
+    lines = []
+    for kind, payload in ops:
+        if kind == "insert":
+            body = ", ".join(f"({k!s}, {v!r})" for k, v in payload)
+        else:
+            body = ", ".join(str(k) for k in payload)
+        lines.append(f"  {kind}: [{body}]")
+    return "\n".join(lines)

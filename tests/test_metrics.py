@@ -107,3 +107,31 @@ class TestSnapshot:
         # JSON-friendly: plain lists, not tuples
         assert isinstance(d["per_module_traffic"], list)
         assert "per_module_traffic" not in s.as_dict()
+
+    def test_json_round_trip_via_from_dict(self):
+        import json
+
+        s = self.snap(
+            io_rounds=7, io_time=40, total_communication=90, pim_time=12,
+            pim_work=20, cpu_work=3, per_module_traffic=(60, 30),
+            per_module_work=(8, 12),
+        )
+        wire = json.loads(json.dumps(s.as_dict(include_per_module=True)))
+        assert MetricsSnapshot.from_dict(wire) == s
+
+    def test_from_dict_requires_per_module(self):
+        s = self.snap(io_rounds=2)
+        with pytest.raises(ValueError, match="per_module_traffic"):
+            MetricsSnapshot.from_dict(s.as_dict())
+
+    def test_from_dict_from_live_system(self):
+        from repro.pim import PIMSystem
+
+        system = PIMSystem(2, seed=1)
+        system.round(lambda ctx, reqs: [sum(reqs)], {0: [1, 2], 1: [3]})
+        snap = system.snapshot()
+        again = MetricsSnapshot.from_dict(
+            snap.as_dict(include_per_module=True)
+        )
+        assert again == snap
+        assert again.delta(snap).io_rounds == 0

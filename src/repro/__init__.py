@@ -16,9 +16,10 @@ from .bits import BitString, HashValue, IncrementalHasher
 from .core import MatchOutcome, PIMTrie, PIMTrieConfig
 from .pim import MetricsSnapshot, PIMSystem
 from . import faults
+from . import obs
 from . import serve
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "BitString",
@@ -31,6 +32,7 @@ __all__ = [
     "PIMSystem",
     "fastpath",
     "faults",
+    "obs",
     "serve",
     "__version__",
 ]

@@ -15,6 +15,10 @@ reproduce, without pytest:
 * ``python -m repro faults [--smoke]``    — fault-injection sweep (E16):
   availability and latency under crashes, stragglers, and lossy
   transport (BENCH_faults.json)
+* ``python -m repro trace [--smoke]``     — span tracing + phase
+  profiling (repro.obs): runs a traced workload (batch ops plus a
+  faulted serve leg), writes a Chrome trace-event JSON, prints the
+  per-phase roll-up, and verifies span deltas sum to the run's metrics
 
 All numbers are PIM Model counts from the simulator (IO rounds, words,
 per-module balance), not wall-clock times — except ``perf``, which
@@ -205,6 +209,90 @@ def cmd_faults(args: argparse.Namespace) -> int:
     return 0 if head["all_correct"] else 1
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    import json
+
+    from .faults import FaultPlan
+    from .obs import (
+        Tracer,
+        chrome_trace,
+        format_rollup,
+        rollup,
+        root_metric_sums,
+        validate_chrome_trace,
+    )
+    from .perf import reset_id_counters
+    from .serve import EpochServer, make_trace, policy_from_name
+
+    if args.smoke:
+        P, resident, n_q, length = 8, 256, 96, 64
+    else:
+        P, resident, n_q, length = args.p, args.resident, args.n, args.length
+    reset_id_counters()
+    system = PIMSystem(P, seed=1)
+    tracer = Tracer(system)
+    before = system.snapshot()
+
+    keys = uniform_keys(resident, length, seed=args.seed + 1)
+    with tracer.span("build", cat="op", n=resident):
+        trie = PIMTrie(
+            system, PIMTrieConfig(num_modules=P), keys=keys, values=keys
+        )
+    queries = uniform_keys(n_q, length, seed=args.seed + 2)
+    # the trie records its own op/phase spans; these calls are the roots
+    trie.lcp_batch(queries)
+    trie.insert_batch(
+        queries[: n_q // 2], [str(k) for k in queries[: n_q // 2]]
+    )
+    trie.delete_batch(queries[: n_q // 4])
+    trie.subtree_batch([k.prefix(6) for k in queries[: n_q // 8]])
+
+    # a short faulted serve leg: epochs, segments, and the recovery
+    # rounds of the injected crash all land in distinct spans
+    trace = make_trace(
+        max(32, n_q // 2), length=length, rate=0.25, seed=args.seed + 3
+    )
+    server = EpochServer(trie, policy_from_name("deadline:20"))
+    system.install_faults(FaultPlan(crashes={1: 2}))
+    with tracer.span("serve", cat="op", ops=len(trace.ops)):
+        report = server.run(trace)
+    system.clear_faults()
+
+    overall = system.snapshot().delta(before)
+    want = {
+        "io_rounds": overall.io_rounds,
+        "io_time": overall.io_time,
+        "words": overall.total_communication,
+        "pim_time": overall.pim_time,
+        "cpu_work": overall.cpu_work,
+    }
+    got = root_metric_sums(tracer.spans)
+    doc = chrome_trace(tracer)
+    problems = validate_chrome_trace(doc)
+
+    print(f"trace — {len(tracer.spans)} spans over {overall.io_rounds} "
+          f"IO rounds (P={P}, {resident} resident keys)\n")
+    print(format_rollup(rollup(tracer)))
+    degraded = [e for e in report.epochs if e.degraded]
+    if degraded:
+        links = ", ".join(f"epoch {e.index} -> span {e.span_id}"
+                          for e in degraded)
+        print(f"\ndegraded epochs traced: {links}")
+    print(f"\nspan-sum check: root spans {got}")
+    print(f"                overall    {want}")
+    exact = got == want
+    print(f"span deltas sum exactly to the run's metrics delta: {exact}")
+    if problems:
+        print("chrome-export schema problems:")
+        for p in problems[:10]:
+            print(f"  {p}")
+    if args.out:
+        with open(args.out, "w") as f:
+            json.dump(doc, f)
+        print(f"wrote {args.out} (load in chrome://tracing or Perfetto)")
+    return 0 if exact and not problems else 1
+
+
 def cmd_bench_all(args: argparse.Namespace) -> int:
     rc = 0
     for fn in (cmd_demo, cmd_table1, cmd_skew, cmd_scaling):
@@ -273,6 +361,22 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--smoke", action="store_true",
                    help="small deterministic run (fixed P/n/rate)")
     p.add_argument("--out", default="BENCH_faults.json")
+    p.add_argument("--seed", type=int, default=7)
+    p = sub.add_parser(
+        "trace",
+        help="span tracing + phase profiling (writes a Chrome "
+             "trace-event JSON; see repro.obs)",
+    )
+    p.set_defaults(fn=cmd_trace)
+    p.add_argument("--smoke", action="store_true",
+                   help="small run (fixed P/n)")
+    p.add_argument("--out", default="TRACE.json")
+    p.add_argument("--p", type=int, default=16)
+    p.add_argument("--resident", type=int, default=1024,
+                   help="resident keys built before the traced ops")
+    p.add_argument("--n", type=int, default=256,
+                   help="query batch size for the traced ops")
+    p.add_argument("--length", type=int, default=64, help="key length (bits)")
     p.add_argument("--seed", type=int, default=7)
     args = parser.parse_args(argv)
     return args.fn(args)

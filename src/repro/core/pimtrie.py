@@ -27,6 +27,7 @@ from typing import Any, Iterable, Optional, Sequence
 
 from .. import fastpath
 from ..bits import BitString, IncrementalHasher
+from ..obs.tracer import maybe_span
 from ..pim import ModuleContext, PIMSystem
 from ..pim.system import default_word_cost
 from ..trie import (
@@ -170,23 +171,50 @@ def _structural(fn):
     stack, ``_dirty_structure`` is set; it is cleared only when the
     outermost frame exits *cleanly* — an abort (RoundAborted) skips the
     clear, which steers recovery to the full rebuild-from-mirror path
-    instead of the cheap per-module one."""
+    instead of the cheap per-module one.
+
+    Structural methods are also tracing sites: each call records a
+    ``maint.<name>`` span when a tracer is attached."""
+
+    span_name = "maint." + fn.__name__.lstrip("_")
 
     @functools.wraps(fn)
     def wrapper(self, *args, **kwargs):
-        self._maint_depth += 1
-        self._dirty_structure = True
-        try:
-            out = fn(self, *args, **kwargs)
-        except BaseException:
+        with maybe_span(self.system, span_name, cat="maint"):
+            self._maint_depth += 1
+            self._dirty_structure = True
+            try:
+                out = fn(self, *args, **kwargs)
+            except BaseException:
+                self._maint_depth -= 1
+                raise
             self._maint_depth -= 1
-            raise
-        self._maint_depth -= 1
-        if self._maint_depth == 0:
-            self._dirty_structure = False
-        return out
+            if self._maint_depth == 0:
+                self._dirty_structure = False
+            return out
 
     return wrapper
+
+
+def _traced_op(name):
+    """Wrap a public batch operation in an ``op.<name>`` span.
+
+    The first positional argument is the batch; its length is recorded
+    as the span's ``batch`` arg.  With no tracer attached the wrapper
+    is one attribute check."""
+
+    def deco(fn):
+        @functools.wraps(fn)
+        def wrapper(self, batch, *args, **kwargs):
+            obs = getattr(self.system, "obs", None)
+            if obs is None:
+                return fn(self, batch, *args, **kwargs)
+            with obs.span(name, cat="op", batch=len(batch)):
+                return fn(self, batch, *args, **kwargs)
+
+        return wrapper
+
+    return deco
 
 
 # ----------------------------------------------------------------------
@@ -804,10 +832,13 @@ class PIMTrie:
             return outcome
         if self._query_trie is not query_trie:
             self._prepare_query(query_trie)
-        master_cuts = self._master_match(query_trie)
-        block_cut_map = self._match_critical_blocks(master_cuts, outcome)
-        block_frags = self._spawn_block_fragments(block_cut_map)
-        self._match_blocks(block_frags, outcome)
+        with maybe_span(self.system, "match.master", cat="phase"):
+            master_cuts = self._master_match(query_trie)
+        with maybe_span(self.system, "match.meta", cat="phase"):
+            block_cut_map = self._match_critical_blocks(master_cuts, outcome)
+        with maybe_span(self.system, "match.blocks", cat="phase"):
+            block_frags = self._spawn_block_fragments(block_cut_map)
+            self._match_blocks(block_frags, outcome)
         return outcome
 
     # ------------------------------------------------------------------
@@ -1216,29 +1247,36 @@ class PIMTrie:
     # ==================================================================
     # public batch operations (§5)
     # ==================================================================
+    @_traced_op("op.lcp")
     def lcp_batch(self, keys: Sequence[BitString]) -> list[int]:
         """LongestCommonPrefix for a batch of keys (§5.1)."""
         if not keys:
             return []
         if self.root_block_id is None:
             return [0] * len(keys)
-        qt = build_query_trie(list(keys))
-        self._prepare_query(qt)
+        with maybe_span(self.system, "query.build", cat="phase"):
+            qt = build_query_trie(list(keys))
+            self._prepare_query(qt)
         outcome = self.match_batch(qt)
-        folded = self._fold_keys(qt, outcome)
+        with maybe_span(self.system, "query.fold", cat="phase"):
+            folded = self._fold_keys(qt, outcome)
         return [folded[k][0] for k in keys]
 
+    @_traced_op("op.lookup")
     def lookup_batch(self, keys: Sequence[BitString]) -> list[Any]:
         """Values for exactly-stored keys (None otherwise)."""
         if not keys:
             return []
-        qt = build_query_trie(list(keys))
-        self._prepare_query(qt)
+        with maybe_span(self.system, "query.build", cat="phase"):
+            qt = build_query_trie(list(keys))
+            self._prepare_query(qt)
         outcome = self.match_batch(qt)
-        folded = self._fold_keys(qt, outcome)
+        with maybe_span(self.system, "query.fold", cat="phase"):
+            folded = self._fold_keys(qt, outcome)
         return [folded[k][3] if folded[k][2] else None for k in keys]
 
     # ------------------------------------------------------------------
+    @_traced_op("op.insert")
     def insert_batch(
         self,
         keys: Sequence[BitString],
@@ -1248,56 +1286,62 @@ class PIMTrie:
         if not keys:
             return 0
         vals = list(values) if values is not None else [None] * len(keys)
-        qt = build_query_trie(list(keys), vals)
-        self._prepare_query(qt)
+        with maybe_span(self.system, "query.build", cat="phase"):
+            qt = build_query_trie(list(keys), vals)
+            self._prepare_query(qt)
         outcome = self.match_batch(qt)
-        folded = self._fold_keys(qt, outcome)
+        with maybe_span(self.system, "query.fold", cat="phase"):
+            folded = self._fold_keys(qt, outcome)
         by_block: dict[int, list[tuple[BitString, Any]]] = defaultdict(list)
         # duplicate keys within a batch follow sequential semantics: the
         # last write wins, exactly as if the ops were applied one by one
         # (and therefore invariant under splitting a batch in two, which
         # the serve layer's epoch boundaries do).  dict order keeps the
         # iteration — and thus every placement draw — deterministic.
-        latest: dict[BitString, Any] = {}
-        for key, value in zip(keys, vals):
-            latest[key] = value
-        base_owner = self._base_owners(latest)
-        new_keys = 0
-        for key, value in latest.items():
-            depth, block, exact, _old = folded[key]
-            owner = base_owner.get(key)
-            if owner is not None and owner != block:
-                # the key *is* a block base: the child block's root owns
-                # it (the parent holds only a non-key mirror leaf — see
-                # _clone_subtree), but the match can resolve the depth
-                # tie to the parent block.  Redirect, and read exactness
-                # from the replica log instead of the mis-routed match.
-                block = owner
-                exact = BitString(0, 0) in self._block_items.get(owner, ())
-            rel = key.suffix_from(self.block_depth[block])
-            by_block[block].append((rel, value))
-            if not exact:
-                new_keys += 1
-        sends: dict[int, list] = defaultdict(list)
-        for block, items in by_block.items():
-            sends[self.block_module[block]].append(
-                _BlockOp("insert", block, payload=items)
-            )
-        oversized: list[int] = []
-        if sends:
-            replies = self.system.round("pimtrie.block", sends)
-            # write-through replica log, only once the round committed:
-            # an aborted round leaves the log matching module state, and
-            # the retried batch re-applies both sides (upsert semantics)
+        with maybe_span(self.system, "insert.dedup", cat="phase"):
+            latest: dict[BitString, Any] = {}
+            for key, value in zip(keys, vals):
+                latest[key] = value
+            base_owner = self._base_owners(latest)
+            new_keys = 0
+            for key, value in latest.items():
+                depth, block, exact, _old = folded[key]
+                owner = base_owner.get(key)
+                if owner is not None and owner != block:
+                    # the key *is* a block base: the child block's root
+                    # owns it (the parent holds only a non-key mirror
+                    # leaf — see _clone_subtree), but the match can
+                    # resolve the depth tie to the parent block.
+                    # Redirect, and read exactness from the replica log
+                    # instead of the mis-routed match.
+                    block = owner
+                    exact = BitString(0, 0) in self._block_items.get(owner, ())
+                rel = key.suffix_from(self.block_depth[block])
+                by_block[block].append((rel, value))
+                if not exact:
+                    new_keys += 1
+        with maybe_span(self.system, "insert.apply", cat="phase"):
+            sends: dict[int, list] = defaultdict(list)
             for block, items in by_block.items():
-                log = self._block_items.setdefault(block, {})
-                for rel, value in items:
-                    log[rel] = value
-            for reply in replies.values():
-                for (bid, nkeys, words) in reply:
-                    self.block_keys[bid] = nkeys
-                    if words > 2 * self.config.block_bound:
-                        oversized.append(bid)
+                sends[self.block_module[block]].append(
+                    _BlockOp("insert", block, payload=items)
+                )
+            oversized: list[int] = []
+            if sends:
+                replies = self.system.round("pimtrie.block", sends)
+                # write-through replica log, only once the round
+                # committed: an aborted round leaves the log matching
+                # module state, and the retried batch re-applies both
+                # sides (upsert semantics)
+                for block, items in by_block.items():
+                    log = self._block_items.setdefault(block, {})
+                    for rel, value in items:
+                        log[rel] = value
+                for reply in replies.values():
+                    for (bid, nkeys, words) in reply:
+                        self.block_keys[bid] = nkeys
+                        if words > 2 * self.config.block_bound:
+                            oversized.append(bid)
         if oversized:
             self._repartition_blocks(oversized)
         return new_keys
@@ -1399,14 +1443,17 @@ class PIMTrie:
             self._hvm_add_records(new_records)
 
     # ------------------------------------------------------------------
+    @_traced_op("op.delete")
     def delete_batch(self, keys: Sequence[BitString]) -> int:
         """Delete a batch of keys; returns the number removed (§5.2)."""
         if not keys or self.root_block_id is None:
             return 0
-        qt = build_query_trie(list(keys))
-        self._prepare_query(qt)
+        with maybe_span(self.system, "query.build", cat="phase"):
+            qt = build_query_trie(list(keys))
+            self._prepare_query(qt)
         outcome = self.match_batch(qt)
-        folded = self._fold_keys(qt, outcome)
+        with maybe_span(self.system, "query.fold", cat="phase"):
+            folded = self._fold_keys(qt, outcome)
         by_block: dict[int, list[BitString]] = defaultdict(list)
         distinct = set(keys)
         base_owner = self._base_owners(distinct)
@@ -1422,24 +1469,25 @@ class PIMTrie:
             if not exact:
                 continue
             by_block[block].append(key.suffix_from(self.block_depth[block]))
-        sends: dict[int, list] = defaultdict(list)
-        for block, items in by_block.items():
-            sends[self.block_module[block]].append(
-                _BlockOp("delete", block, payload=items)
-            )
-        removed_total = 0
-        if sends:
-            replies = self.system.round("pimtrie.block", sends)
-            # replica log trails the committed round (see insert_batch)
+        with maybe_span(self.system, "delete.apply", cat="phase"):
+            sends: dict[int, list] = defaultdict(list)
             for block, items in by_block.items():
-                log = self._block_items.get(block)
-                if log is not None:
-                    for rel in items:
-                        log.pop(rel, None)
-            for reply in replies.values():
-                for (bid, nkeys, _words, removed) in reply:
-                    self.block_keys[bid] = nkeys
-                    removed_total += removed
+                sends[self.block_module[block]].append(
+                    _BlockOp("delete", block, payload=items)
+                )
+            removed_total = 0
+            if sends:
+                replies = self.system.round("pimtrie.block", sends)
+                # replica log trails the committed round (see insert_batch)
+                for block, items in by_block.items():
+                    log = self._block_items.get(block)
+                    if log is not None:
+                        for rel in items:
+                            log.pop(rel, None)
+                for reply in replies.values():
+                    for (bid, nkeys, _words, removed) in reply:
+                        self.block_keys[bid] = nkeys
+                        removed_total += removed
         if removed_total:
             self._collect_empty_blocks()
         return removed_total
@@ -1486,6 +1534,7 @@ class PIMTrie:
         self._hvm_remove_records(doomed)
 
     # ------------------------------------------------------------------
+    @_traced_op("op.subtree")
     def subtree_batch(
         self, prefixes: Sequence[BitString]
     ) -> list[list[tuple[BitString, Any]]]:
@@ -1494,10 +1543,12 @@ class PIMTrie:
             return []
         if self.root_block_id is None:
             return [[] for _ in prefixes]
-        qt = build_query_trie(list(prefixes))
-        self._prepare_query(qt)
+        with maybe_span(self.system, "query.build", cat="phase"):
+            qt = build_query_trie(list(prefixes))
+            self._prepare_query(qt)
         outcome = self.match_batch(qt)
-        folded = self._fold_keys(qt, outcome)
+        with maybe_span(self.system, "query.fold", cat="phase"):
+            folded = self._fold_keys(qt, outcome)
 
         results: dict[BitString, list[tuple[BitString, Any]]] = {
             p: [] for p in prefixes
@@ -1515,7 +1566,8 @@ class PIMTrie:
             order[self.block_module[block]].append(p)
         frontier: list[tuple[BitString, int]] = []
         if sends:
-            replies = self.system.round("pimtrie.block", sends)
+            with maybe_span(self.system, "subtree.roots", cat="phase"):
+                replies = self.system.round("pimtrie.block", sends)
             for m, reply in replies.items():
                 for p, (root_depth, items, kids) in zip(order[m], reply):
                     for rel_key, value in items:
@@ -1526,61 +1578,65 @@ class PIMTrie:
         # (O(log P) rounds, Lemma 4.6), then fetch the blocks at once
         all_blocks: list[tuple[BitString, int]] = []
         guard = 0
-        while frontier:
-            guard += 1
-            sends2: dict[int, list] = defaultdict(list)
-            order2: dict[int, list[tuple[BitString, int]]] = defaultdict(list)
-            direct: list[tuple[BitString, int]] = []
-            for p, bid in frontier:
-                pid = self.piece_of_block.get(bid)
-                if pid is None or guard > 4 * (self.config.log_p + 2):
-                    direct.append((p, bid))
+        with maybe_span(self.system, "subtree.descend", cat="phase"):
+            while frontier:
+                guard += 1
+                sends2: dict[int, list] = defaultdict(list)
+                order2: dict[int, list[tuple[BitString, int]]] = defaultdict(list)
+                direct: list[tuple[BitString, int]] = []
+                for p, bid in frontier:
+                    pid = self.piece_of_block.get(bid)
+                    if pid is None or guard > 4 * (self.config.log_p + 2):
+                        direct.append((p, bid))
+                        continue
+                    m = self.piece_module[pid]
+                    sends2[m].append(_PieceOp("subtree", pid, payload=[bid]))
+                    order2[m].append((p, bid))
+                frontier = []
+                for p, bid in direct:
+                    all_blocks.append((p, bid))
+                    frontier.extend(
+                        (p, c) for c in self.block_children.get(bid, ())
+                    )
+                if sends2:
+                    replies = self.system.round("pimtrie.piece", sends2)
+                    for m, reply in replies.items():
+                        for (p, bid), records in zip(order2[m], reply):
+                            found = {r.block_id for r in records}
+                            if bid not in found:
+                                all_blocks.append((p, bid))
+                                frontier.extend(
+                                    (p, c)
+                                    for c in self.block_children.get(bid, ())
+                                )
+                                continue
+                            for r in records:
+                                all_blocks.append((p, r.block_id))
+                                for c in self.block_children.get(r.block_id, ()):
+                                    if c not in found:
+                                        frontier.append((p, c))
+        with maybe_span(self.system, "subtree.fetch", cat="phase"):
+            sends3: dict[int, list] = defaultdict(list)
+            order3: dict[int, list[tuple[BitString, int]]] = defaultdict(list)
+            seen_fetch: set[tuple[BitString, int]] = set()
+            for p, bid in all_blocks:
+                if (p, bid) in seen_fetch or bid not in self.block_module:
                     continue
-                m = self.piece_module[pid]
-                sends2[m].append(_PieceOp("subtree", pid, payload=[bid]))
-                order2[m].append((p, bid))
-            frontier = []
-            for p, bid in direct:
-                all_blocks.append((p, bid))
-                frontier.extend(
-                    (p, c) for c in self.block_children.get(bid, ())
+                seen_fetch.add((p, bid))
+                m = self.block_module[bid]
+                sends3[m].append(
+                    _BlockOp("subtree", bid, payload=BitString(0, 0))
                 )
-            if sends2:
-                replies = self.system.round("pimtrie.piece", sends2)
+                order3[m].append((p, bid))
+            if sends3:
+                replies = self.system.round("pimtrie.block", sends3)
                 for m, reply in replies.items():
-                    for (p, bid), records in zip(order2[m], reply):
-                        found = {r.block_id for r in records}
-                        if bid not in found:
-                            all_blocks.append((p, bid))
-                            frontier.extend(
-                                (p, c)
-                                for c in self.block_children.get(bid, ())
-                            )
-                            continue
-                        for r in records:
-                            all_blocks.append((p, r.block_id))
-                            for c in self.block_children.get(r.block_id, ()):
-                                if c not in found:
-                                    frontier.append((p, c))
-        sends3: dict[int, list] = defaultdict(list)
-        order3: dict[int, list[tuple[BitString, int]]] = defaultdict(list)
-        seen_fetch: set[tuple[BitString, int]] = set()
-        for p, bid in all_blocks:
-            if (p, bid) in seen_fetch or bid not in self.block_module:
-                continue
-            seen_fetch.add((p, bid))
-            m = self.block_module[bid]
-            sends3[m].append(_BlockOp("subtree", bid, payload=BitString(0, 0)))
-            order3[m].append((p, bid))
-        if sends3:
-            replies = self.system.round("pimtrie.block", sends3)
-            for m, reply in replies.items():
-                for (p, bid), (_root_depth, items, _kids) in zip(
-                    order3[m], reply
-                ):
-                    prefix_abs = self._root_strings[bid]
-                    for rel_key, value in items:
-                        results[p].append((prefix_abs + rel_key, value))
+                    for (p, bid), (_root_depth, items, _kids) in zip(
+                        order3[m], reply
+                    ):
+                        prefix_abs = self._root_strings[bid]
+                        for rel_key, value in items:
+                            results[p].append((prefix_abs + rel_key, value))
         return [sorted(results[p], key=lambda kv: kv[0]) for p in prefixes]
 
     def subtree_tries(

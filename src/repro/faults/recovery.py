@@ -33,6 +33,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Optional, TypeVar
 
+from ..obs.tracer import maybe_span
 from .injector import FaultInjector, RoundAborted
 
 __all__ = ["recover", "run_with_recovery"]
@@ -57,17 +58,21 @@ def recover(trie) -> int:
     if not crashed and not dirty:
         return 0
     before = system.snapshot()
-    if inj is not None:
-        with inj.suspended():
-            for m in crashed:
-                inj.restart(m)
+    # recovery gets its own span category so degraded epochs show the
+    # rebuild rounds as distinct slices in the trace
+    tier = "recovery.rebuild_from_mirror" if dirty else "recovery.rebuild_modules"
+    with maybe_span(system, tier, cat="recovery", crashed=crashed):
+        if inj is not None:
+            with inj.suspended():
+                for m in crashed:
+                    inj.restart(m)
+                if dirty:
+                    trie.rebuild_from_mirror()
+                else:
+                    trie.rebuild_modules(crashed)
+        else:
             if dirty:
                 trie.rebuild_from_mirror()
-            else:
-                trie.rebuild_modules(crashed)
-    else:
-        if dirty:
-            trie.rebuild_from_mirror()
     rounds = system.snapshot().delta(before).io_rounds
     if inj is not None:
         inj.stats.recoveries += 1

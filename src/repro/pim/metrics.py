@@ -3,9 +3,10 @@
 The PIM Model measures, per BSP-style synchronous round:
 
 * **IO rounds** — the number of rounds executed;
-* **IO time** — the maximum number of word-sized messages to/from any
-  single PIM module in the round (maxima are taken per round and summed
-  across rounds);
+* **IO time** — the maximum, over modules, of one module's *total*
+  round traffic (words in + words out); maxima are taken per round and
+  summed across rounds.  A module's link is half-duplex in the PIM
+  Model, so its round cost is the sum of both directions, not their max;
 * **total communication** — the sum of words moved between the CPU and
   all modules (used to report per-operation communication, Table 1);
 * **PIM time** — the maximum kernel work on any one module per round,
@@ -38,10 +39,10 @@ class RoundRecord:
 
     @property
     def io_time(self) -> int:
-        """Max words to/from any single module in this round."""
-        return max(
-            max(self.words_to, default=0), max(self.words_from, default=0)
-        )
+        """Max over modules of that module's total round traffic (in + out)."""
+        if not self.words_to:
+            return 0
+        return max(t + f for t, f in zip(self.words_to, self.words_from))
 
     @property
     def total_words(self) -> int:
@@ -66,7 +67,21 @@ class MetricsSnapshot:
     per_module_work: tuple[int, ...]
 
     def delta(self, earlier: "MetricsSnapshot") -> "MetricsSnapshot":
-        """Metrics accumulated since ``earlier``."""
+        """Metrics accumulated since ``earlier``.
+
+        Both snapshots must come from systems with the same module
+        count; a per-module length mismatch raises ``ValueError``.
+        """
+        if len(self.per_module_traffic) != len(earlier.per_module_traffic) or (
+            len(self.per_module_work) != len(earlier.per_module_work)
+        ):
+            raise ValueError(
+                f"snapshot module counts differ: "
+                f"{len(self.per_module_traffic)} traffic /"
+                f" {len(self.per_module_work)} work vs "
+                f"{len(earlier.per_module_traffic)} traffic /"
+                f" {len(earlier.per_module_work)}"
+            )
         return MetricsSnapshot(
             io_rounds=self.io_rounds - earlier.io_rounds,
             io_time=self.io_time - earlier.io_time,

@@ -68,11 +68,14 @@ class ModuleContext:
 
         The ``work`` meter survives — it is the simulator's odometer
         (kernel-work deltas are computed against it mid-round), not
-        module state.
+        module state.  The allocation counter also survives: local
+        addresses are never reused across a crash, so a stale host-side
+        handle from before the wipe faults loudly (``KeyError``) instead
+        of silently resolving to whatever object recovery happened to
+        place at the recycled address.
         """
         self.heap.clear()
         self.scratch.clear()
-        self._next_addr = 1
 
     def memory_words(self, sizer: Optional[Callable[[Any], int]] = None) -> int:
         """Approximate local memory footprint in words."""

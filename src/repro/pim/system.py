@@ -13,9 +13,10 @@ of per-module request batches and a kernel, runs the kernel on every
 module that received requests (sequentially in the simulation but
 logically in parallel), and returns per-module reply batches.  Word
 costs of requests and replies are measured by ``word_cost`` and recorded
-in the metrics collector, which tracks IO rounds, IO time (max per-module
-words per round), total communication, and PIM time (max kernel work per
-round) — the quantities bounded by the paper's theorems.
+in the metrics collector, which tracks IO rounds, IO time (max over
+modules of a module's total round traffic, in + out), total
+communication, and PIM time (max kernel work per round) — the
+quantities bounded by the paper's theorems.
 """
 
 from __future__ import annotations
@@ -172,6 +173,8 @@ class PIMSystem:
         self._kernels: dict[str, Kernel] = {}
         #: installed fault injector (repro.faults); None = no fault layer
         self.faults = None
+        #: attached span tracer (repro.obs); None = tracing off
+        self.obs = None
 
     # ------------------------------------------------------------------
     # kernel registry ("the host CPU can load programs to PIM modules")
@@ -220,6 +223,9 @@ class PIMSystem:
         once on every module with a non-empty request list and returns a
         list of reply messages.  Returns module id -> replies.
         """
+        obs = self.obs
+        t0 = obs.clock() if obs is not None else 0.0
+
         if callable(kernel):
             fn = kernel
         else:
@@ -258,6 +264,13 @@ class PIMSystem:
                 if reqs:
                     words_to[mid] += sum(map(wc, reqs))
             self.metrics.record_round(words_to, words_from, kernel_work)
+            if obs is not None:
+                obs.on_round(
+                    kernel if isinstance(kernel, str)
+                    else getattr(fn, "__name__", "kernel"),
+                    words_to, words_from, kernel_work, t0,
+                    aborted=verdict.error.cause,
+                )
             raise verdict.error
 
         copy_requests = not fastpath.ENABLED
@@ -281,6 +294,13 @@ class PIMSystem:
         if verdict is not None:
             error = faults.end_round(verdict, replies, words_from)
         self.metrics.record_round(words_to, words_from, kernel_work)
+        if obs is not None:
+            obs.on_round(
+                kernel if isinstance(kernel, str)
+                else getattr(fn, "__name__", "kernel"),
+                words_to, words_from, kernel_work, t0,
+                aborted=error.cause if error is not None else None,
+            )
         if error is not None:
             # post-kernel abort (lost reply buffer): the kernels ran and
             # the full round is on the books — crash-before-ack

@@ -49,6 +49,7 @@ from typing import Any, Optional, Sequence
 
 from ..core import PIMTrie
 from ..faults import RoundAborted, recover
+from ..obs.tracer import maybe_span
 from ..pim import MetricsSnapshot
 from .scheduler import ContinuousBatchingScheduler, SchedulerPolicy
 from .slo import OP_FAILED, CompletedOp, EpochRecord, ServiceReport
@@ -135,7 +136,11 @@ class EpochServer:
         attempt = 0
         while True:
             try:
-                return _execute_segment(self.trie, kind, ops)
+                with maybe_span(
+                    self.system, f"segment.{kind}", cat="segment",
+                    ops=len(ops),
+                ):
+                    return _execute_segment(self.trie, kind, ops)
             except RoundAborted as e:
                 attempt += 1
                 ep["causes"].append(e.cause)
@@ -216,16 +221,30 @@ class EpochServer:
             t0 = _time.perf_counter()
             ep = {"retries": 0, "recovery_rounds": 0, "failed": 0,
                   "backoff": 0.0, "causes": []}
-            # proactive recovery: heal crashes left over from a previous
-            # epoch before launching new work (its rounds land in this
-            # epoch's metrics delta, and therefore its service time)
-            if self._degraded():
-                ep["recovery_rounds"] += recover(self.trie)
-            replies: list[Any] = []
-            kinds: list[str] = []
-            for kind, seg in _segments(batch):
-                kinds.append(kind)
-                replies.extend(self._run_segment(kind, seg, ep))
+            obs = getattr(self.system, "obs", None)
+            ep_span = (
+                obs.begin(
+                    f"epoch:{len(epochs)}", cat="epoch",
+                    size=len(batch), queue_depth=depth,
+                )
+                if obs is not None
+                else None
+            )
+            try:
+                # proactive recovery: heal crashes left over from a
+                # previous epoch before launching new work (its rounds
+                # land in this epoch's metrics delta, and therefore its
+                # service time)
+                if self._degraded():
+                    ep["recovery_rounds"] += recover(self.trie)
+                replies: list[Any] = []
+                kinds: list[str] = []
+                for kind, seg in _segments(batch):
+                    kinds.append(kind)
+                    replies.extend(self._run_segment(kind, seg, ep))
+            finally:
+                if ep_span is not None:
+                    obs.end(ep_span)
             wall = _time.perf_counter() - t0
             delta = self.system.snapshot().delta(before)
 
@@ -255,6 +274,7 @@ class EpochServer:
                     retries=ep["retries"],
                     recovery_rounds=ep["recovery_rounds"],
                     causes=tuple(ep["causes"]),
+                    span_id=ep_span.sid if ep_span is not None else None,
                 )
             )
             for op, reply in zip(batch, replies):
@@ -287,9 +307,9 @@ class EpochServer:
             metrics=metrics,
             round_time=self.round_time,
             word_time=self.word_time,
+            max_batch=policy.max_batch,
             failed=failed_total,
             faults=fault_stats,
-            extra={"max_batch": policy.max_batch},
         )
 
 

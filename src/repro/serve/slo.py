@@ -112,6 +112,8 @@ class EpochRecord:
     retries: int = 0  # segment retries inside this epoch
     recovery_rounds: int = 0  # IO rounds spent rebuilding lost state
     causes: tuple[str, ...] = ()  # RoundAborted causes observed
+    #: id of this epoch's tracer span (None when tracing is off)
+    span_id: Optional[int] = None
 
 
 @dataclass
@@ -127,6 +129,8 @@ class ServiceReport:
     metrics: MetricsSnapshot  # PIM Model delta across all epochs
     round_time: float
     word_time: float
+    #: the scheduler policy's batch cap, used as the occupancy denominator
+    max_batch: int = 1
     #: ops whose replies are :data:`OP_FAILED` (fault retries exhausted)
     failed: int = 0
     #: injector counters (``FaultStats.as_dict``); empty = fault-free run
@@ -155,7 +159,7 @@ class ServiceReport:
         """Mean epoch fill ratio (size / max allowed batch)."""
         if not self.epochs:
             return 0.0
-        cap = max(1, int(self.extra.get("max_batch", 1)))
+        cap = max(1, self.max_batch)
         return sum(e.size for e in self.epochs) / (len(self.epochs) * cap)
 
     def queue_depth_stats(self) -> dict[str, float]:
@@ -215,6 +219,7 @@ class ServiceReport:
             "latency_rounds": self.latency_rounds(),
             "round_time": self.round_time,
             "word_time": self.word_time,
+            "max_batch": self.max_batch,
             "metrics": self.metrics.as_dict(include_per_module=include_per_module),
         }
         if self.faults or self.failed:

@@ -267,6 +267,33 @@ class TestRecovery:
         assert sorted(map(str, trie.keys())) == sorted(map(str, keys))
         assert trie.lookup_batch(keys) == [k for k in keys]
 
+    def test_stale_handle_faults_loudly_after_recovery(self):
+        # module wipes must not recycle local addresses: a host-side
+        # handle taken before a crash has to raise KeyError afterwards,
+        # never silently resolve to an object recovery re-allocated
+        system, trie, keys = fresh_trie()
+
+        def writer(ctx, reqs):
+            return [ctx.alloc(r) for r in reqs]
+
+        def reader(ctx, reqs):
+            return [ctx.load(a) for a in reqs]
+
+        old_addr = system.round(writer, {1: ["pre-crash"]})[1][0]
+        inj = system.install_faults(FaultPlan(crashes={1: 0}))
+        with pytest.raises(RoundAborted):
+            trie.lcp_batch(keys[:4])
+        recover(trie)
+        assert inj.crashed == set()
+        with inj.suspended():
+            with pytest.raises(KeyError, match="no object at local address"):
+                system.round(reader, {1: [old_addr]})
+            # recovery repopulated module 1; fresh allocations are live
+            # and never collide with the pre-crash address
+            new_addr = system.round(writer, {1: ["post-crash"]})[1][0]
+            assert new_addr != old_addr
+            assert system.round(reader, {1: [new_addr]})[1] == ["post-crash"]
+
     def test_run_with_recovery_exhausts_and_raises(self):
         system, trie, _ = fresh_trie()
         # a transient error on every round the op will ever try

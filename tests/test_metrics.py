@@ -6,9 +6,11 @@ from repro.pim import MetricsCollector, MetricsSnapshot, RoundRecord
 
 
 class TestRoundRecord:
-    def test_io_time_is_max_direction(self):
+    def test_io_time_is_max_module_total(self):
+        # module totals (in + out): 5+0=5 and 1+9=10 -> the busiest
+        # module's combined traffic, not the max single direction
         r = RoundRecord(words_to=(5, 1), words_from=(0, 9), kernel_work=(2, 3))
-        assert r.io_time == 9
+        assert r.io_time == 10
         assert r.total_words == 15
         assert r.pim_time == 3
 
@@ -26,7 +28,7 @@ class TestCollector:
         c.record_round([0, 4], [0, 2], [0, 7])
         s = c.snapshot()
         assert s.io_rounds == 2
-        assert s.io_time == 3 + 4
+        assert s.io_time == (3 + 1) + (4 + 2)  # busiest module, per round
         assert s.total_communication == 10
         assert s.pim_time == 12
         assert s.pim_work == 12
@@ -78,6 +80,16 @@ class TestSnapshot:
         assert d.io_rounds == 2
         assert d.total_communication == 6
         assert d.per_module_traffic == (4, 2)
+
+    def test_delta_module_count_mismatch_raises(self):
+        # snapshots from systems with different P must not be silently
+        # zip-truncated into a short per-module tuple
+        a = self.snap(per_module_traffic=(6, 4, 2), per_module_work=(1, 1, 1))
+        b = self.snap()
+        with pytest.raises(ValueError, match="module counts differ"):
+            a.delta(b)
+        with pytest.raises(ValueError, match="module counts differ"):
+            b.delta(a)
 
     def test_imbalance_perfect(self):
         s = self.snap(per_module_traffic=(5, 5))

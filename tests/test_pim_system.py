@@ -17,8 +17,8 @@ class TestRounds:
         sys.round(echo_kernel, {0: [1, 2], 2: [3]})
         snap = sys.snapshot()
         assert snap.io_rounds == 1
-        # words: to {0:2, 2:1}, from the same -> io_time = max(2,2) = 2
-        assert snap.io_time == 2
+        # words: to {0:2, 2:1}, from the same -> io_time = max(2+2, 1+1) = 4
+        assert snap.io_time == 4
         assert snap.total_communication == 6
         assert snap.pim_time == 2  # max kernel work
         assert snap.pim_work == 3
@@ -124,6 +124,26 @@ class TestModuleState:
         sys.round(put, {0: [11], 1: [22]})
         assert sys.round(get, {0: [0], 1: [0]}) == {0: [11], 1: [22]}
 
+    def test_wipe_never_reuses_local_addresses(self):
+        # a stale host handle from before a crash must fault loudly
+        # after the wipe, not silently resolve to a recycled address
+        sys = PIMSystem(1)
+
+        def writer(ctx, reqs):
+            return [ctx.alloc(r) for r in reqs]
+
+        old_addr = sys.round(writer, {0: ["pre-crash"]})[0][0]
+        sys.modules[0].wipe()
+        new_addr = sys.round(writer, {0: ["post-crash"]})[0][0]
+        assert new_addr != old_addr
+
+        def reader(ctx, reqs):
+            return [ctx.load(a) for a in reqs]
+
+        with pytest.raises(KeyError, match="no object at local address"):
+            sys.round(reader, {0: [old_addr]})
+        assert sys.round(reader, {0: [new_addr]})[0] == ["post-crash"]
+
 
 class TestWordCost:
     def test_scalars(self):
@@ -162,9 +182,9 @@ class TestMetrics:
 
     def test_io_time_is_per_round_max_summed(self):
         sys = PIMSystem(2)
-        sys.round(echo_kernel, {0: [1, 2, 3]})   # io_time 3
-        sys.round(echo_kernel, {1: [1]})          # io_time 1
-        assert sys.snapshot().io_time == 4
+        sys.round(echo_kernel, {0: [1, 2, 3]})   # io_time 3 + 3 (echoed)
+        sys.round(echo_kernel, {1: [1]})          # io_time 1 + 1
+        assert sys.snapshot().io_time == 8
 
     def test_load_balance_stats(self):
         sys = PIMSystem(4)
@@ -184,7 +204,7 @@ class TestMetrics:
         sys = PIMSystem(2, keep_round_log=True)
         sys.round(echo_kernel, {0: [1]})
         assert len(sys.metrics.rounds) == 1
-        assert sys.metrics.rounds[0].io_time == 1
+        assert sys.metrics.rounds[0].io_time == 2  # 1 word in + 1 echoed out
 
     def test_reset(self):
         sys = PIMSystem(2)

@@ -251,6 +251,17 @@ class TestServerBehavior:
         assert len(d["metrics"]["per_module_traffic"]) == P
         assert d["completed"] == 80
 
+    def test_max_batch_is_a_report_field(self):
+        # the policy's batch cap must reach the report as a real field
+        # (not an `extra` side-channel) so occupancy uses the true cap
+        r = self.run_smoke("deadline:50", max_batch=8)
+        assert r.max_batch == 8
+        assert "max_batch" not in r.extra
+        expected = sum(e.size for e in r.epochs) / (len(r.epochs) * 8)
+        assert r.occupancy() == pytest.approx(expected)
+        assert 0.0 < r.occupancy() <= 1.0
+        assert r.as_dict()["max_batch"] == 8
+
     def test_format_summary_deterministic_mode(self):
         r = self.run_smoke()
         text = r.format_summary(deterministic_only=True)

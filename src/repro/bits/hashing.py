@@ -97,19 +97,24 @@ class IncrementalHasher:
     # 2^n mod q is seed-independent, so the memo table is shared by all
     # hasher instances (class-level): rootfix scans and pivot prefix
     # sums (Lemmas 4.4 / 4.9) across many tries and re-seeded hashers
-    # stop paying per-call pow().  Bounded so adversarial lengths cannot
-    # grow it without limit.
+    # stop paying per-call pow().  Bounded with FIFO eviction (dicts
+    # iterate in insertion order) so adversarial key lengths can neither
+    # grow it without limit nor pin it full of stale exponents.
     _POW2_TABLE: dict[int, int] = {}
+
+    #: Hard cap on the pow2 memo; eviction is oldest-inserted-first.
+    _POW2_TABLE_MAX = 1 << 16
 
     # ------------------------------------------------------------------
     def _pow2(self, n: int) -> int:
-        """2^n mod q with class-level memoization on n."""
+        """2^n mod q with bounded class-level memoization on n."""
         table = IncrementalHasher._POW2_TABLE
         cached = table.get(n)
         if cached is None:
             cached = pow(2, n, MERSENNE_61)
-            if len(table) < 1 << 16:
-                table[n] = cached
+            if len(table) >= IncrementalHasher._POW2_TABLE_MAX:
+                del table[next(iter(table))]
+            table[n] = cached
         return cached
 
     # ------------------------------------------------------------------

@@ -141,13 +141,17 @@ def cmd_scaling(args: argparse.Namespace) -> int:
 
 
 def cmd_perf(args: argparse.Namespace) -> int:
-    from .perf import run_bench
+    from .perf import check_floor, run_bench
 
     report = run_bench(out=args.out, smoke=args.smoke, reps=args.reps)
     head = report["headline"]
     print(f"\nheadline (P={head['P']}, n={head['n']}, l={head['l']}): "
-          f"batched-LCP speedup {head['lcp_speedup']:.2f}x, "
-          f"metric parity {'OK' if head['metric_parity'] else 'FAILED'}")
+          f"batched-LCP speedup {head['lcp_speedup']:.2f}x vs baseline "
+          f"({head['lcp_columnar_vs_fast']:.2f}x over the object fast "
+          f"path), metric parity "
+          f"{'OK' if head['metric_parity'] else 'FAILED'}")
+    if args.check_floor:
+        return check_floor(report, args.check_floor)
     return 0
 
 
@@ -329,6 +333,9 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--smoke", action="store_true")
     p.add_argument("--out", default="BENCH_wallclock.json")
     p.add_argument("--reps", type=int, default=None)
+    p.add_argument("--check-floor", metavar="RECORDED_JSON", default=None,
+                   help="exit 1 if columnar batched-LCP ops/sec falls "
+                   "below the fastpath floor recorded in RECORDED_JSON")
     p = sub.add_parser(
         "serve", help="online service simulation (continuous batching)"
     )

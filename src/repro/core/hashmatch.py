@@ -65,7 +65,7 @@ class _Family:
     experiment E9).
     """
 
-    __slots__ = ("members", "zfast", "dirty", "_scan", "_chain")
+    __slots__ = ("members", "zfast", "dirty", "_scan", "_chain", "_cols")
 
     def __init__(self):
         self.members: dict[BitString, MetaRecord] = {}
@@ -77,6 +77,9 @@ class _Family:
         #: fast-path redo chain: member -> its deepest proper-prefix
         #: member (None when stale)
         self._chain: Optional[dict[BitString, Optional[MetaRecord]]] = None
+        #: columnar scan/chain arrays (repro.columnar.match); None when
+        #: stale — invalidated alongside _scan/_chain
+        self._cols = None
 
     def ensure(self) -> None:
         if self.dirty:
@@ -158,6 +161,9 @@ class RecordTable:
         self.by_fp: dict[int, list[MetaRecord]] = {}
         self.layer2: dict[int, _Family] = {}
         self.by_id: dict[int, MetaRecord] = {}
+        #: sorted layer2-key array for columnar membership probes
+        #: (repro.columnar.match); None when stale
+        self._l2cache = None
         for rec in records:
             self.add(rec)
 
@@ -168,10 +174,12 @@ class RecordTable:
         if fam is None:
             fam = _Family()
             self.layer2[rec.s_pre_fp] = fam
+            self._l2cache = None
         fam.members[rec.s_rem] = rec
         fam.dirty = True
         fam._scan = None
         fam._chain = None
+        fam._cols = None
 
     def remove(self, rec: MetaRecord) -> None:
         self.by_id.pop(rec.block_id, None)
@@ -188,8 +196,10 @@ class RecordTable:
                 fam.dirty = True
                 fam._scan = None
                 fam._chain = None
+                fam._cols = None
             if not fam.members:
                 del self.layer2[rec.s_pre_fp]
+                self._l2cache = None
 
     def __len__(self) -> int:
         return len(self.by_id)

@@ -38,6 +38,18 @@ from ..trie import (
     partition_weighted,
     rootfix,
 )
+from ..columnar import (
+    ColNodeRef,
+    ColPathPos,
+    ColumnarFragment,
+    QueryArena,
+    hash_match_columnar,
+    hash_match_columnar_many,
+    local_match_columnar,
+    warm_table,
+    respan_columnar,
+    span_columnar,
+)
 from .blocks import DataBlock, extract_blocks
 from .config import PIMTrieConfig
 from .hashmatch import CollisionLog, MatchCut, RecordTable, hash_match_fragment
@@ -51,20 +63,42 @@ __all__ = ["PIMTrie", "MatchOutcome", "MatchEntry"]
 # ----------------------------------------------------------------------
 # matched-trie representation
 # ----------------------------------------------------------------------
-@dataclass(frozen=True)
 class MatchEntry:
-    """Deepest match information for one query-trie compressed node."""
+    """Deepest match information for one query-trie compressed node.
 
-    depth: int
-    #: True: the path to this node fully matches (depth == node depth);
-    #: False: the subtree below diverges at `depth`
-    full: bool
-    #: the match coincides with a data compressed node
-    on_node: bool
-    #: that data node stores a key
-    has_key: bool
-    value: Any
-    block: int
+    A plain slotted record (not a dataclass): one is allocated per
+    surviving query node per match batch, so construction cost is on
+    the batch hot path.
+    """
+
+    __slots__ = ("depth", "full", "on_node", "has_key", "value", "block")
+
+    def __init__(
+        self,
+        depth: int,
+        #: True: the path to this node fully matches (depth == node
+        #: depth); False: the subtree below diverges at `depth`
+        full: bool,
+        #: the match coincides with a data compressed node
+        on_node: bool,
+        #: that data node stores a key
+        has_key: bool,
+        value: Any,
+        block: int,
+    ):
+        self.depth = depth
+        self.full = full
+        self.on_node = on_node
+        self.has_key = has_key
+        self.value = value
+        self.block = block
+
+    def __repr__(self) -> str:
+        return (
+            f"MatchEntry(depth={self.depth}, full={self.full}, "
+            f"on_node={self.on_node}, has_key={self.has_key}, "
+            f"value={self.value!r}, block={self.block})"
+        )
 
 
 @dataclass
@@ -236,6 +270,14 @@ class PIMTrie:
             raise ValueError("config.num_modules must match the PIM system")
         self.hasher = self.config.make_hasher()
         self.w = self.config.word_bits
+        #: the columnar flat-array core hard-codes 64-bit words, the
+        #: modular (Mersenne-61) hash, and pivot matching; any other
+        #: configuration falls back to the object pipeline
+        self._columnar_ok = (
+            self.w == 64
+            and self.config.hash_kind == "modular"
+            and self.config.use_pivots
+        )
 
         # addressing registries + maintenance mirrors (DESIGN.md §7)
         self.block_module: dict[int, int] = {}
@@ -296,6 +338,10 @@ class PIMTrie:
                 elif isinstance(r, _StorePiece):
                     ctx.scratch.setdefault("pieces", {})[r.piece.piece_id] = r.piece
                     ctx.tick(r.piece.word_cost())
+                    if fastpath.columnar_enabled():
+                        table = RecordTable(r.piece.table.values(), w)
+                        r.piece._match_cache = (r.piece.version, table)
+                        warm_table(table)
                     out.append(("piece", r.piece.piece_id))
                 else:
                     raise TypeError(f"bad store request {r!r}")
@@ -321,27 +367,19 @@ class PIMTrie:
                     ctx.tick(1)
             ctx.scratch["master"] = table
             ctx.scratch["master_piece"] = piece_of
+            if table is not None and fastpath.columnar_enabled():
+                # rebuild the probe caches now so the next match batch
+                # starts warm (pure caches — no metric effect)
+                warm_table(table)
             return []
 
         def k_match(ctx: ModuleContext, reqs: list) -> list:
-            out = []
-            for r in reqs:
+            out: list = [None] * len(reqs)
+            batched: list[tuple[int, _FragMatch, Any]] = []
+            for i, r in enumerate(reqs):
                 assert isinstance(r, _FragMatch)
-                log = CollisionLog()
                 if r.scope == "master":
                     table = ctx.scratch.get("master") or RecordTable([], w)
-                    piece_of = ctx.scratch.get("master_piece", {})
-                    cuts = hash_match_fragment(
-                        r.frag, table, hasher,
-                        use_pivots=cfg.use_pivots, verify=cfg.verify,
-                        tick=ctx.tick, log=log,
-                    )
-                    out.append(
-                        (
-                            [(c, piece_of.get(c.record.block_id)) for c in cuts],
-                            log.rejected,
-                        )
-                    )
                 else:
                     piece: MetaPiece = ctx.scratch["pieces"][r.piece_id]
                     # the derived lookup table is a function of the
@@ -357,17 +395,42 @@ class PIMTrie:
                         table = RecordTable(piece.table.values(), w)
                         piece._match_cache = (piece.version, table)
                     ctx.tick(1)
-                    cuts = hash_match_fragment(
-                        r.frag, table, hasher,
-                        use_pivots=cfg.use_pivots, verify=cfg.verify,
-                        tick=ctx.tick, log=log,
+                if isinstance(r.frag, ColumnarFragment):
+                    batched.append((i, r, table))
+                    continue
+                log = CollisionLog()
+                cuts = hash_match_fragment(
+                    r.frag, table, hasher,
+                    use_pivots=cfg.use_pivots, verify=cfg.verify,
+                    tick=ctx.tick, log=log,
+                )
+                out[i] = (r, cuts, log.rejected)
+            if batched:
+                # every columnar request in the round in one fused pass
+                results = hash_match_columnar_many(
+                    [(r.frag, table) for _, r, table in batched],
+                    hasher, verify=cfg.verify,
+                )
+                for (i, r, _), (cuts, _ch, rejected, ticks) in zip(
+                    batched, results
+                ):
+                    ctx.tick(ticks)
+                    out[i] = (r, cuts, rejected)
+            piece_of = ctx.scratch.get("master_piece", {})
+            for i, (r, cuts, rejected) in enumerate(out):
+                if r.scope == "master":
+                    out[i] = (
+                        [(c, piece_of.get(c.record.block_id)) for c in cuts],
+                        rejected,
                     )
-                    out.append(([(c, None) for c in cuts], log.rejected))
+                else:
+                    out[i] = ([(c, None) for c in cuts], rejected)
             return out
 
         def k_piece(ctx: ModuleContext, reqs: list) -> list:
             out = []
             pieces: dict[int, MetaPiece] = ctx.scratch.setdefault("pieces", {})
+            touched: dict[int, MetaPiece] = {}
             for r in reqs:
                 assert isinstance(r, _PieceOp)
                 if r.op == "children":
@@ -388,15 +451,18 @@ class PIMTrie:
                     for rec, owned in r.payload:
                         piece.add_record(rec, owned=owned)
                         ctx.tick(1)
+                    touched[r.piece_id] = piece
                     out.append(piece.own_size())
                 elif r.op == "remove":
                     piece = pieces[r.piece_id]
                     for bid in r.payload:
                         piece.remove_record(bid)
                         ctx.tick(1)
+                    touched[r.piece_id] = piece
                     out.append(piece.own_size())
                 elif r.op == "free":
                     pieces.pop(r.piece_id, None)
+                    touched.pop(r.piece_id, None)
                     ctx.tick(1)
                     out.append(True)
                 elif r.op == "subtree":
@@ -420,6 +486,14 @@ class PIMTrie:
                     out.append(found)
                 else:
                     raise ValueError(f"bad piece op {r.op!r}")
+            if touched and fastpath.columnar_enabled():
+                # refresh the per-piece match table eagerly so the next
+                # match batch finds a warm cache (pure caches — no
+                # metric effect; k_match still ticks table addressing)
+                for pid, piece in touched.items():
+                    table = RecordTable(piece.table.values(), w)
+                    piece._match_cache = (piece.version, table)
+                    warm_table(table)
             return out
 
         def k_block(ctx: ModuleContext, reqs: list) -> list:
@@ -430,12 +504,20 @@ class PIMTrie:
                 blk = blocks.get(r.block_id)
                 if r.op == "match":
                     assert blk is not None and r.frag is not None
-                    out.append(
-                        match_block_local(
-                            r.frag, blk.trie, blk.block_id, blk.root_depth,
-                            tick=ctx.tick, w=w,
+                    if isinstance(r.frag, ColumnarFragment):
+                        out.append(
+                            local_match_columnar(
+                                r.frag, blk.trie, blk.block_id,
+                                blk.root_depth, tick=ctx.tick, w=w,
+                            )
                         )
-                    )
+                    else:
+                        out.append(
+                            match_block_local(
+                                r.frag, blk.trie, blk.block_id, blk.root_depth,
+                                tick=ctx.tick, w=w,
+                            )
+                        )
                 elif r.op == "insert":
                     assert blk is not None
                     for key, value in r.payload:
@@ -817,13 +899,53 @@ class PIMTrie:
     # ==================================================================
     # trie matching (Algorithms 2, 4, 5)
     # ==================================================================
-    def _prepare_query(self, qt: PatriciaTrie) -> None:
+    def _build_query(self, keys, values=None):
+        """The batch's query trie: a columnar arena when the flat-array
+        core is enabled and applicable, the object trie otherwise."""
+        if fastpath.columnar_enabled() and self._columnar_ok:
+            return QueryArena.build(list(keys), values)
+        return build_query_trie(list(keys), values)
+
+    def _prepare_query(self, qt) -> None:
         self._query_trie = qt
-        self._query_nodes = {n.uid: n for n in qt.iter_nodes()}
-        self._query_strings = rootfix(
-            qt, BitString(0, 0), lambda acc, n: acc + n.parent_edge.label
-        )
+        if isinstance(qt, QueryArena):
+            self._query_nodes = qt.node_map()
+            self._query_strings = {}
+        else:
+            self._query_nodes = {n.uid: n for n in qt.iter_nodes()}
+            self._query_strings = rootfix(
+                qt, BitString(0, 0), lambda acc, n: acc + n.parent_edge.label
+            )
         self.system.tick_cpu(qt.num_nodes())
+
+    @staticmethod
+    def _make_pos(node, back: int = 0):
+        """A PathPos in whichever coordinate system ``node`` lives in."""
+        if isinstance(node, ColNodeRef):
+            return ColPathPos(node, back)
+        return PathPos(node, back)
+
+    def _span(self, qt, positions):
+        """Span dispatch: arena fragments or object clones."""
+        if isinstance(qt, QueryArena):
+            return span_columnar(qt, positions)
+        return span_fragments(
+            qt, positions, self._query_strings, self.hasher, self.w
+        )
+
+    def _hash_match(self, frag, table, tick, log):
+        """HashMatching dispatch for CPU-side (pull) matching."""
+        cfg = self.config
+        if isinstance(frag, ColumnarFragment):
+            return hash_match_columnar(
+                frag, table, self.hasher,
+                verify=cfg.verify, tick=tick, log=log,
+            )
+        return hash_match_fragment(
+            frag, table, self.hasher,
+            use_pivots=cfg.use_pivots, verify=cfg.verify,
+            tick=tick, log=log,
+        )
 
     def match_batch(self, query_trie: PatriciaTrie) -> MatchOutcome:
         """Full trie matching for a prepared query trie (Algorithm 2)."""
@@ -851,13 +973,18 @@ class PIMTrie:
         P = self.system.num_modules
         total = query_trie.word_cost()
         target = max(8, total // max(1, P * cfg.log_p))
-        root_uids = partition_weighted(query_trie, target)
-        cuts = [
-            PathPos(n) for n in query_trie.iter_nodes() if n.uid in root_uids
-        ]
-        frags = span_fragments(
-            query_trie, cuts, self._query_strings, self.hasher, self.w
-        )
+        if isinstance(query_trie, QueryArena):
+            # partition rows come out ascending == preorder, the same
+            # order the object path's iter_nodes filter yields
+            cuts = [
+                ColPathPos(ColNodeRef(r)) for r in query_trie.partition(target)
+            ]
+        else:
+            root_uids = partition_weighted(query_trie, target)
+            cuts = [
+                PathPos(n) for n in query_trie.iter_nodes() if n.uid in root_uids
+            ]
+        frags = self._span(query_trie, cuts)
         sends: dict[int, list] = defaultdict(list)
         order: dict[int, list[QueryFragment]] = defaultdict(list)
         for f in frags:
@@ -877,7 +1004,9 @@ class PIMTrie:
                     node = self._query_nodes.get(origin_uid)
                     if node is None:
                         continue
-                    out.append((PathPos(node, cut.back), cut.record, piece_id))
+                    out.append(
+                        (self._make_pos(node, cut.back), cut.record, piece_id)
+                    )
         return out
 
     # ------------------------------------------------------------------
@@ -893,7 +1022,7 @@ class PIMTrie:
         qt = self._query_trie
         assert qt is not None
         # span the query trie at the master hits (plus the root seed)
-        positions: list[PathPos] = [PathPos(qt.root)]
+        positions: list = [self._make_pos(qt.root)]
         piece_at: dict[tuple[int, int], int] = {}
         root_pid = None
         for pid, rb in self.master_pieces.items():
@@ -912,9 +1041,7 @@ class PIMTrie:
             prev = block_cut_map.get(key)
             if prev is None or rec.depth > prev.depth:
                 block_cut_map[key] = rec
-        frags = span_fragments(
-            qt, positions, self._query_strings, self.hasher, self.w
-        )
+        frags = self._span(qt, positions)
         pending: list[tuple[QueryFragment, int, bool]] = []
         for f in frags:
             key = (f.base_pos.node.uid, f.base_pos.back)
@@ -970,10 +1097,8 @@ class PIMTrie:
                     for frag, records in zip(order2[m], reply):
                         table = RecordTable(records, self.w)
                         log = CollisionLog()
-                        cuts = hash_match_fragment(
-                            frag, table, self.hasher,
-                            use_pivots=cfg.use_pivots, verify=cfg.verify,
-                            tick=self.system.tick_cpu, log=log,
+                        cuts = self._hash_match(
+                            frag, table, self.system.tick_cpu, log
                         )
                         outcome.collisions += log.rejected
                         self._absorb_block_cuts(frag, cuts, block_cut_map)
@@ -998,10 +1123,8 @@ class PIMTrie:
                             rec.block_id: cid for cid, rec in child_recs
                         }
                         log = CollisionLog()
-                        cuts = hash_match_fragment(
-                            frag, table, self.hasher,
-                            use_pivots=cfg.use_pivots, verify=cfg.verify,
-                            tick=self.system.tick_cpu, log=log,
+                        cuts = self._hash_match(
+                            frag, table, self.system.tick_cpu, log
                         )
                         outcome.collisions += log.rejected
                         if not cuts:
@@ -1038,6 +1161,8 @@ class PIMTrie:
     ) -> list[tuple[QueryFragment, MatchCut]]:
         """Split a fragment at (fragment-coordinate) cuts; rebase each
         sub-fragment to absolute coordinates and compose origin maps."""
+        if isinstance(frag, ColumnarFragment):
+            return respan_columnar(frag, cuts)
         frag_strings = rootfix(
             frag.trie, BitString(0, 0), lambda acc, n: acc + n.parent_edge.label
         )
@@ -1113,7 +1238,7 @@ class PIMTrie:
     ) -> list[tuple[QueryFragment, MetaRecord]]:
         qt = self._query_trie
         assert qt is not None
-        positions: list[PathPos] = [PathPos(qt.root)]
+        positions: list = [self._make_pos(qt.root)]
         recs: dict[tuple[int, int], MetaRecord] = {
             (qt.root.uid, 0): self._records[self.root_block_id]
         }
@@ -1121,11 +1246,9 @@ class PIMTrie:
             node = self._query_nodes.get(uid)
             if node is None:
                 continue
-            positions.append(PathPos(node, back))
+            positions.append(self._make_pos(node, back))
             recs[(uid, back)] = rec
-        frags = span_fragments(
-            qt, positions, self._query_strings, self.hasher, self.w
-        )
+        frags = self._span(qt, positions)
         out = []
         for f in frags:
             key = (f.base_pos.node.uid, f.base_pos.back)
@@ -1170,32 +1293,57 @@ class PIMTrie:
             replies = self.system.round("pimtrie.block", sends)
             for m, reply in replies.items():
                 for (frag, rec), blk in zip(order[m], reply):
-                    results.append(
-                        match_block_local(
-                            frag, blk.trie, blk.block_id, blk.root_depth,
-                            tick=self.system.tick_cpu, w=self.w,
+                    if isinstance(frag, ColumnarFragment):
+                        results.append(
+                            local_match_columnar(
+                                frag, blk.trie, blk.block_id, blk.root_depth,
+                                tick=self.system.tick_cpu, w=self.w,
+                            )
                         )
-                    )
+                    else:
+                        results.append(
+                            match_block_local(
+                                frag, blk.trie, blk.block_id, blk.root_depth,
+                                tick=self.system.tick_cpu, w=self.w,
+                            )
+                        )
         # merge (Algorithm 2 line 14): deepest wins; full node matches
-        # beat equal-depth cutoffs
+        # beat equal-depth cutoffs.  Improvements accumulate as plain
+        # tuples so each surviving uid allocates one MatchEntry, not one
+        # per improvement step.
+        ent = outcome.entries
+        upd: dict[int, tuple] = {}
         for res in results:
+            bid = res.block_id
             for uid, (depth, on_node, has_key, value) in res.node_matches.items():
-                prev = outcome.entries.get(uid)
+                prev = upd.get(uid)
+                if prev is None:
+                    e = ent.get(uid)
+                    if e is not None:
+                        prev = (
+                            e.depth, e.full, e.on_node, e.has_key,
+                            e.value, e.block,
+                        )
                 if (
                     prev is None
-                    or depth > prev.depth
-                    or (depth == prev.depth and not prev.full)
-                    or (depth == prev.depth and has_key and not prev.has_key)
+                    or depth > prev[0]
+                    or (depth == prev[0] and not prev[1])
+                    or (depth == prev[0] and has_key and not prev[3])
                 ):
-                    outcome.entries[uid] = MatchEntry(
-                        depth, True, on_node, has_key, value, res.block_id
-                    )
+                    upd[uid] = (depth, True, on_node, has_key, value, bid)
             for uid, depth in res.cutoffs.items():
-                prev = outcome.entries.get(uid)
-                if prev is None or depth > prev.depth:
-                    outcome.entries[uid] = MatchEntry(
-                        depth, False, False, False, None, res.block_id
-                    )
+                prev = upd.get(uid)
+                if prev is None:
+                    e = ent.get(uid)
+                    if e is not None:
+                        prev = (
+                            e.depth, e.full, e.on_node, e.has_key,
+                            e.value, e.block,
+                        )
+                if prev is None or depth > prev[0]:
+                    upd[uid] = (depth, False, False, False, None, bid)
+        for uid, t in upd.items():
+            ent[uid] = MatchEntry(*t)
 
     # ==================================================================
     # per-key folding of the matched trie
@@ -1205,6 +1353,8 @@ class PIMTrie:
     ) -> dict[BitString, tuple[int, int, bool, Any]]:
         """For every key in the query trie: (LCP depth, owning block,
         exact-key-stored, stored value) via a rootfix (§5.1)."""
+        if isinstance(qt, QueryArena):
+            return qt.fold(outcome, self.root_block_id)
         out: dict[BitString, tuple[int, int, bool, Any]] = {}
         root_state = (0, self.root_block_id or 0, False)
         stack: list[tuple[TrieNode, tuple[int, int, bool], BitString]] = [
@@ -1255,7 +1405,7 @@ class PIMTrie:
         if self.root_block_id is None:
             return [0] * len(keys)
         with maybe_span(self.system, "query.build", cat="phase"):
-            qt = build_query_trie(list(keys))
+            qt = self._build_query(keys)
             self._prepare_query(qt)
         outcome = self.match_batch(qt)
         with maybe_span(self.system, "query.fold", cat="phase"):
@@ -1268,7 +1418,7 @@ class PIMTrie:
         if not keys:
             return []
         with maybe_span(self.system, "query.build", cat="phase"):
-            qt = build_query_trie(list(keys))
+            qt = self._build_query(keys)
             self._prepare_query(qt)
         outcome = self.match_batch(qt)
         with maybe_span(self.system, "query.fold", cat="phase"):
@@ -1287,7 +1437,7 @@ class PIMTrie:
             return 0
         vals = list(values) if values is not None else [None] * len(keys)
         with maybe_span(self.system, "query.build", cat="phase"):
-            qt = build_query_trie(list(keys), vals)
+            qt = self._build_query(keys, vals)
             self._prepare_query(qt)
         outcome = self.match_batch(qt)
         with maybe_span(self.system, "query.fold", cat="phase"):
@@ -1449,7 +1599,7 @@ class PIMTrie:
         if not keys or self.root_block_id is None:
             return 0
         with maybe_span(self.system, "query.build", cat="phase"):
-            qt = build_query_trie(list(keys))
+            qt = self._build_query(keys)
             self._prepare_query(qt)
         outcome = self.match_batch(qt)
         with maybe_span(self.system, "query.fold", cat="phase"):
@@ -1544,7 +1694,7 @@ class PIMTrie:
         if self.root_block_id is None:
             return [[] for _ in prefixes]
         with maybe_span(self.system, "query.build", cat="phase"):
-            qt = build_query_trie(list(prefixes))
+            qt = self._build_query(prefixes)
             self._prepare_query(qt)
         outcome = self.match_batch(qt)
         with maybe_span(self.system, "query.fold", cat="phase"):

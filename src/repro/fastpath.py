@@ -20,10 +20,26 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Iterator
 
-__all__ = ["ENABLED", "enable", "is_enabled", "disabled"]
+__all__ = [
+    "ENABLED",
+    "COLUMNAR",
+    "enable",
+    "is_enabled",
+    "disabled",
+    "enable_columnar",
+    "columnar_enabled",
+    "columnar_disabled",
+]
 
 #: Whether hot-loop caches and fast algorithms are active.
 ENABLED: bool = True
+
+#: Whether the columnar flat-array core (:mod:`repro.columnar`) may
+#: replace the object query pipeline for batch phases.  Only consulted
+#: while ``ENABLED`` is also true: the columnar core is a further tier
+#: of the same fast path and obeys the same contract — bit-identical
+#: PIM Model metrics and answers to the object reference.
+COLUMNAR: bool = True
 
 
 def enable(flag: bool = True) -> None:
@@ -36,6 +52,17 @@ def is_enabled() -> bool:
     return ENABLED
 
 
+def enable_columnar(flag: bool = True) -> None:
+    """Turn the columnar flat-array core on or off globally."""
+    global COLUMNAR
+    COLUMNAR = bool(flag)
+
+
+def columnar_enabled() -> bool:
+    """True when batch phases should use the columnar arrays."""
+    return ENABLED and COLUMNAR
+
+
 @contextmanager
 def disabled() -> Iterator[None]:
     """Run a block on the unoptimized reference path (baseline mode)."""
@@ -46,3 +73,15 @@ def disabled() -> Iterator[None]:
         yield
     finally:
         ENABLED = prev
+
+
+@contextmanager
+def columnar_disabled() -> Iterator[None]:
+    """Run a block with the columnar core off (plain fast path)."""
+    global COLUMNAR
+    prev = COLUMNAR
+    COLUMNAR = False
+    try:
+        yield
+    finally:
+        COLUMNAR = prev

@@ -7,21 +7,27 @@ sustains — so regressions in the hot loop (word-cost accounting,
 hashing, fragment matching) are visible as wall-clock, not just as
 noise.
 
-Two modes run in-process:
+Three modes run in-process:
 
-* **fast** — the shipped configuration, with every optimization behind
-  :mod:`repro.fastpath` active (cached word costs, type-dispatch cost
-  cache, batch fingerprinting, fused pivot probes, per-family scan
-  tables, per-piece match tables);
+* **columnar** — the shipped configuration: every :mod:`repro.fastpath`
+  optimization plus the :mod:`repro.columnar` flat-array query core
+  (struct-of-arrays query trie, index-arithmetic span/respan, fused
+  batch matching);
+* **fast** — the object fast path with the columnar tier off
+  (:func:`repro.fastpath.columnar_disabled`): cached word costs,
+  type-dispatch cost cache, batch fingerprinting, fused pivot probes,
+  per-family scan tables, per-piece match tables;
 * **baseline** — the same workload under :func:`repro.fastpath.disabled`,
   which routes every hot call through the unoptimized reference path
   (equivalent to the pre-optimization code).
 
-The two must produce *identical* PIM Model metrics and query results —
+All three must produce *identical* PIM Model metrics and query results —
 optimizations change wall-clock, never accounting.  ``bench_config``
 asserts this by comparing the full :class:`MetricsSnapshot` after every
 phase plus all query outputs, and records the proof in the emitted
-``BENCH_wallclock.json``.
+``BENCH_wallclock.json``.  With ``reps > 1`` each mode is run that many
+times and both the min (the headline, least-noise estimate) and the
+median wall-clock per phase are reported.
 
 Determinism note: trie-node, block, and meta-piece uids come from
 process-global counters, and uid *values* feed set-iteration order in
@@ -79,15 +85,30 @@ def reset_id_counters() -> None:
     _meta._piece_ids = itertools.count(1)
 
 
+#: Measured configurations, slowest first.
+MODES = ("baseline", "fast", "columnar")
+
+
+def _mode_context(mode: str):
+    """The fastpath state for one measured mode."""
+    if mode == "baseline":
+        return fastpath.disabled()
+    if mode == "fast":
+        return fastpath.columnar_disabled()
+    if mode == "columnar":
+        return nullcontext()
+    raise ValueError(f"unknown perf mode {mode!r}")
+
+
 # ----------------------------------------------------------------------
 def _run_phases(
-    P: int, n: int, l: int, seed: int, *, fast: bool
+    P: int, n: int, l: int, seed: int, *, mode: str
 ) -> tuple[dict[str, dict[str, Any]], list, dict[str, Any]]:
     """One full measured run: build, LCP, insert, delete, subtree, and
     the E10 skew flood, all timed, with a metrics snapshot per phase.
 
     Returns ``(phases, snapshots, results)`` where ``snapshots`` and
-    ``results`` are the parity evidence (compared fast vs baseline).
+    ``results`` are the parity evidence (compared across modes).
     """
     reset_id_counters()
     keys = uniform_keys(n, l, seed=seed)
@@ -100,7 +121,7 @@ def _run_phases(
     snapshots: list = []
     results: dict[str, Any] = {}
 
-    with nullcontext() if fast else fastpath.disabled():
+    with _mode_context(mode):
         system = PIMSystem(P, seed=1)
 
         def timed(name, ops, fn):
@@ -149,69 +170,97 @@ def _run_phases(
     return phases, snapshots, results
 
 
+def _median(values: list[float]) -> float:
+    s = sorted(values)
+    m = len(s) // 2
+    return s[m] if len(s) % 2 else (s[m - 1] + s[m]) / 2
+
+
 def _measure(
-    P: int, n: int, l: int, seed: int, *, fast: bool, reps: int
+    P: int, n: int, l: int, seed: int, *, mode: str, reps: int
 ) -> tuple[dict[str, dict[str, Any]], list, dict[str, Any]]:
-    """Best-of-``reps`` wall-clock per phase (counts are rep-invariant)."""
-    best: Optional[dict[str, dict[str, Any]]] = None
+    """``reps`` timed runs per phase: min wall-clock is the headline
+    figure, the median is reported alongside as the noise estimate
+    (counts are rep-invariant — any drift raises)."""
+    first: Optional[dict[str, dict[str, Any]]] = None
     first_snaps: list = []
     first_results: dict[str, Any] = {}
+    secs: dict[str, list[float]] = {}
     for rep in range(reps):
-        phases, snaps, results = _run_phases(P, n, l, seed, fast=fast)
-        if best is None:
-            best, first_snaps, first_results = phases, snaps, results
-        else:
-            if snaps != first_snaps or results != first_results:
-                raise AssertionError(
-                    f"non-deterministic metrics across reps (P={P}, n={n}, "
-                    f"l={l}, fast={fast}, rep={rep})"
-                )
-            for name, ph in phases.items():
-                if ph["seconds"] < best[name]["seconds"]:
-                    best[name] = ph
-    assert best is not None
-    return best, first_snaps, first_results
+        phases, snaps, results = _run_phases(P, n, l, seed, mode=mode)
+        if first is None:
+            first, first_snaps, first_results = phases, snaps, results
+        elif snaps != first_snaps or results != first_results:
+            raise AssertionError(
+                f"non-deterministic metrics across reps (P={P}, n={n}, "
+                f"l={l}, mode={mode}, rep={rep})"
+            )
+        for name, ph in phases.items():
+            secs.setdefault(name, []).append(ph["seconds"])
+    assert first is not None
+    for name, ph in first.items():
+        ss = secs[name]
+        mn, med = min(ss), _median(ss)
+        ph["seconds"] = round(mn, 6)
+        ph["ops_per_sec"] = round(ph["ops"] / max(mn, 1e-9), 1)
+        ph["seconds_median"] = round(med, 6)
+        ph["ops_per_sec_median"] = round(ph["ops"] / max(med, 1e-9), 1)
+    return first, first_snaps, first_results
 
 
 # ----------------------------------------------------------------------
 def bench_config(
     P: int, n: int, l: int, seed: int = 7, reps: int = 1
 ) -> dict[str, Any]:
-    """Benchmark one (P, n, l) point in both modes and prove parity.
+    """Benchmark one (P, n, l) point in all three modes and prove parity.
 
-    Raises ``AssertionError`` if the fast and baseline runs disagree on
-    any per-phase :class:`MetricsSnapshot` or any query result.
+    Raises ``AssertionError`` if any two of the columnar, fast, and
+    baseline runs disagree on any per-phase :class:`MetricsSnapshot` or
+    any query result.
     """
-    fast_ph, fast_snaps, fast_res = _measure(
-        P, n, l, seed, fast=True, reps=reps
-    )
-    base_ph, base_snaps, base_res = _measure(
-        P, n, l, seed, fast=False, reps=reps
-    )
-    parity = fast_snaps == base_snaps and fast_res == base_res
-    if not parity:
-        raise AssertionError(
-            f"metric-parity violation at P={P}, n={n}, l={l}: fast and "
-            "baseline runs disagree on metrics or results"
-        )
-    speedup = {
-        name: round(
-            base_ph[name]["seconds"] / max(fast_ph[name]["seconds"], 1e-9), 3
-        )
-        for name in fast_ph
-    }
+    runs: dict[str, tuple] = {}
+    for mode in MODES:
+        runs[mode] = _measure(P, n, l, seed, mode=mode, reps=reps)
+    _, ref_snaps, ref_res = runs["columnar"]
+    for mode in ("fast", "baseline"):
+        _, snaps, res = runs[mode]
+        if snaps != ref_snaps or res != ref_res:
+            raise AssertionError(
+                f"metric-parity violation at P={P}, n={n}, l={l}: "
+                f"columnar and {mode} runs disagree on metrics or results"
+            )
+
+    def ratio(num_ph, den_ph):
+        return {
+            name: round(
+                num_ph[name]["seconds"] / max(den_ph[name]["seconds"], 1e-9),
+                3,
+            )
+            for name in den_ph
+        }
+
+    base_ph = runs["baseline"][0]
+    fast_ph = runs["fast"][0]
+    col_ph = runs["columnar"][0]
+    speedup = ratio(base_ph, col_ph)  # columnar vs unoptimized reference
+    fast_speedup = ratio(base_ph, fast_ph)  # object fast path vs reference
+    columnar_vs_fast = ratio(fast_ph, col_ph)  # the columnar tier alone
     return {
         "P": P,
         "n": n,
         "l": l,
         "seed": seed,
         "reps": reps,
+        "columnar": col_ph,
         "fast": fast_ph,
         "baseline": base_ph,
         "speedup": speedup,
+        "fast_speedup": fast_speedup,
+        "columnar_vs_fast": columnar_vs_fast,
         "lcp_speedup": speedup["lcp"],
+        "lcp_columnar_vs_fast": columnar_vs_fast["lcp"],
         "metric_parity": True,
-        "metrics": fast_snaps[-1].as_dict(),
+        "metrics": ref_snaps[-1].as_dict(),
     }
 
 
@@ -237,12 +286,14 @@ def run_bench(
             print(msg, flush=True)
 
     say(f"headline: P={cfg['P']} n={cfg['n']} l={cfg['l']} reps={reps} "
-        f"(fast + baseline)...")
+        f"(columnar + fast + baseline)...")
     head = bench_config(**cfg, reps=reps)
     head["meets_2x_target"] = head["lcp_speedup"] >= 2.0
-    say(f"  lcp: {head['fast']['lcp']['ops_per_sec']:.0f} ops/s fast vs "
+    say(f"  lcp: {head['columnar']['lcp']['ops_per_sec']:.0f} ops/s "
+        f"columnar vs {head['fast']['lcp']['ops_per_sec']:.0f} fast vs "
         f"{head['baseline']['lcp']['ops_per_sec']:.0f} baseline "
-        f"({head['lcp_speedup']:.2f}x), metric parity OK")
+        f"({head['lcp_speedup']:.2f}x total, "
+        f"{head['lcp_columnar_vs_fast']:.2f}x over fast), metric parity OK")
 
     report: dict[str, Any] = {
         "bench": "wallclock",
@@ -296,7 +347,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     parser.add_argument(
         "--reps", type=int, default=None,
-        help="wall-clock reps per mode, best-of (default: 3, smoke: 1)",
+        help="wall-clock reps per mode; min and median are reported "
+        "(default: 3, smoke: 1)",
+    )
+    parser.add_argument(
+        "--check-floor", metavar="RECORDED_JSON", default=None,
+        help="perf-regression guard: exit 1 unless this run's columnar "
+        "batched-LCP ops/sec stays at or above the fastpath ops/sec "
+        "recorded in RECORDED_JSON (the committed BENCH_wallclock.json)",
     )
     args = parser.parse_args(list(argv) if argv is not None else None)
     report = run_bench(out=args.out, smoke=args.smoke, reps=args.reps)
@@ -307,6 +365,33 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "2x target",
             file=sys.stderr,
         )
+    if args.check_floor:
+        return check_floor(report, args.check_floor)
+    return 0
+
+
+def check_floor(report: dict, recorded_path: str) -> int:
+    """Perf-regression guard shared by the CLI entry points.
+
+    Returns 0 when this run's columnar batched-LCP ops/sec is at or
+    above the *fastpath* ops/sec recorded in ``recorded_path`` (the
+    committed ``BENCH_wallclock.json``) — i.e. the columnar core must
+    never regress below what the object fast path achieved on the
+    machine that recorded the baseline — and 1 otherwise.
+    """
+    recorded = json.loads(Path(recorded_path).read_text())
+    floor = recorded["headline"]["fast"]["lcp"]["ops_per_sec"]
+    got = report["headline"]["columnar"]["lcp"]["ops_per_sec"]
+    if got < floor:
+        print(
+            f"FAIL: columnar batched-LCP {got:.0f} ops/s dropped below "
+            f"the recorded fastpath floor {floor:.0f} ops/s "
+            f"({recorded_path})",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"floor check OK: columnar lcp {got:.0f} ops/s >= recorded "
+          f"fastpath floor {floor:.0f} ops/s")
     return 0
 
 

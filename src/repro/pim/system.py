@@ -47,7 +47,7 @@ def reflective_word_cost(obj: Any) -> int:
     same values through a per-type dispatch cache; the two are kept in
     lockstep by the metric-parity tests.
     """
-    if obj is None or isinstance(obj, (bool, int, float)):
+    if obj is None or isinstance(obj, (bool, int, float, np.integer, np.floating)):
         return 1
     cost_fn = getattr(obj, "word_cost", None)
     if cost_fn is not None:
@@ -84,7 +84,7 @@ _wc_kind_cache: dict[type, int] = {}
 
 
 def _wc_resolve(t: type) -> int:
-    if t is type(None) or issubclass(t, (bool, int, float)):
+    if t is type(None) or issubclass(t, (bool, int, float, np.integer, np.floating)):
         kind = _WC_SCALAR
     elif getattr(t, "word_cost", None) is not None:
         kind = _WC_METHOD

@@ -223,6 +223,54 @@ def run_sequence(factory: Callable[[], Any], ops: list) -> list[Any]:
     return [apply_batch(index, kind, payload) for kind, payload in ops]
 
 
+# ----------------------------------------------------------------------
+# columnar differential support
+# ----------------------------------------------------------------------
+#: seeds for the object-vs-columnar parity sweep; a superset of the
+#: fastpath-parity seeds so both suites cover the same sequences plus
+#: extra adversarial draws
+COLUMNAR_PARITY_SEEDS = (0, 1, 2, 5, 11, 17, 23, 31)
+
+#: seeds crossed with repro.faults scenarios in the columnar sweep
+#: (kept small: each run replays the sequence four times)
+COLUMNAR_FAULT_SEEDS = (0, 5, 17)
+
+
+def run_pimtrie_evidence(ops: list, fault_plan: Any = None) -> tuple:
+    """Replay ``ops`` on a fresh PIM-trie and return the full parity
+    evidence: ``(repr(replies), metrics_json)`` with per-module counts.
+
+    The caller controls the fastpath/columnar mode via
+    :mod:`repro.fastpath` context managers; ``fault_plan`` (a
+    :class:`repro.faults.FaultPlan`) is installed before the first
+    batch, so fault handling and recovery are part of the replayed —
+    and compared — behaviour.  Aborted batches follow the serve layer's
+    protocol (``repro.serve.server``): catch :class:`RoundAborted`,
+    :func:`repro.faults.recover` the trie, and retry the batch — every
+    PIMTrie batch op is idempotent, so the retry is safe.
+    """
+    import json
+
+    from repro.faults import RoundAborted, recover
+
+    index = make_pimtrie()
+    if fault_plan is not None:
+        index.system.install_faults(fault_plan)
+    replies = []
+    recovery_rounds = 0
+    for kind, payload in ops:
+        for attempt in range(8):
+            try:
+                replies.append(apply_batch(index, kind, payload))
+                break
+            except RoundAborted:
+                recovery_rounds += recover(index)
+        else:
+            raise AssertionError(f"batch {kind!r} never survived recovery")
+    snap = index.system.snapshot().as_dict(include_per_module=True)
+    return repr(replies), json.dumps(snap, sort_keys=True), recovery_rounds
+
+
 #: targets whose deletion is lazy (paths survive), making their LCP
 #: range over every key ever inserted rather than the live key set —
 #: dist-radix documents this as the standard radix-tree trade-off

@@ -1,0 +1,102 @@
+"""Differential parity suite for the columnar flat-array core.
+
+The columnar pipeline (:mod:`repro.columnar`) is a wall-clock tier of
+the fast path: arena-based struct-of-arrays query storage and fused
+batch phases behind :func:`repro.fastpath.columnar_enabled`.  Its
+contract is byte identity — every reply and every PIM Model metric
+(including per-module word and kernel counts) must equal the object
+pipeline's, on the same adversarial differential sequences the oracle
+suite replays, with and without fault injection.
+"""
+
+import pytest
+
+from repro import fastpath
+from repro.faults import FaultPlan, StragglerSpec
+
+from tests import harness
+
+
+def _evidence(ops, columnar: bool, fault_plan=None):
+    if columnar:
+        return harness.run_pimtrie_evidence(ops, fault_plan)
+    with fastpath.columnar_disabled():
+        return harness.run_pimtrie_evidence(ops, fault_plan)
+
+
+# ----------------------------------------------------------------------
+class TestColumnarParity:
+    """Object fast path vs columnar core: answers and metrics."""
+
+    @pytest.mark.parametrize("seed", harness.COLUMNAR_PARITY_SEEDS)
+    def test_replies_and_metrics_byte_identical(self, seed):
+        ops = harness.gen_ops(seed)
+        col_replies, col_json, _ = _evidence(ops, columnar=True)
+        obj_replies, obj_json, _ = _evidence(ops, columnar=False)
+        assert col_replies == obj_replies
+        assert col_json == obj_json  # byte-identical accounting
+
+    def test_columnar_vs_unoptimized_baseline(self):
+        """Transitivity check straight to the reference path (no
+        fastpath caches at all), on one sequence."""
+        ops = harness.gen_ops(2, batches=6, batch_size=6)
+        col_replies, col_json, _ = _evidence(ops, columnar=True)
+        with fastpath.disabled():
+            ref_replies, ref_json, _ = harness.run_pimtrie_evidence(ops)
+        assert col_replies == ref_replies
+        assert col_json == ref_json
+
+    def test_longer_profile_single_seed(self):
+        """More batches per sequence: respans, deletes, and piece churn
+        interact across batches."""
+        ops = harness.gen_ops(7, batches=12, batch_size=8)
+        col = _evidence(ops, columnar=True)
+        obj = _evidence(ops, columnar=False)
+        assert col == obj
+
+
+# ----------------------------------------------------------------------
+def _fault_plans():
+    P = harness.P
+    return {
+        "crash": FaultPlan(crashes={1: 3, P - 1: 11}),
+        "straggler": FaultPlan(
+            stragglers=(
+                StragglerSpec(module=0, factor=4.0, start_round=0,
+                              end_round=40),
+            )
+        ),
+        "lossy": FaultPlan(
+            drop_requests={(4, 0), (9, 1)},
+            drop_replies={(6, m) for m in range(P)},
+            duplicate_replies={(8, 0)},
+        ),
+        "random": FaultPlan.random(P, seed=13),
+    }
+
+
+class TestColumnarParityUnderFaults:
+    """Fault injection and recovery must be mode-invariant too: the
+    columnar core sees the same aborted rounds, retries, and recovery
+    re-stores as the object pipeline, with identical accounting."""
+
+    @pytest.mark.parametrize("seed", harness.COLUMNAR_FAULT_SEEDS)
+    @pytest.mark.parametrize("scenario", sorted(_fault_plans()))
+    def test_replies_and_metrics_identical(self, seed, scenario):
+        ops = harness.gen_ops(seed)
+        plan = _fault_plans()[scenario]
+        col = _evidence(ops, columnar=True, fault_plan=plan)
+        obj = _evidence(ops, columnar=False, fault_plan=plan)
+        assert col[0] == obj[0], f"replies diverge under {scenario}"
+        assert col[1] == obj[1], f"metrics diverge under {scenario}"
+        assert col[2] == obj[2], f"recovery rounds diverge under {scenario}"
+
+    def test_faulty_run_differs_from_clean_run(self):
+        """Sanity: the injected plans actually perturb accounting (the
+        parity above is not vacuous)."""
+        ops = harness.gen_ops(0)
+        clean = _evidence(ops, columnar=True)
+        faulty = _evidence(
+            ops, columnar=True, fault_plan=_fault_plans()["crash"]
+        )
+        assert clean[1] != faulty[1]

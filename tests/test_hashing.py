@@ -125,3 +125,50 @@ class TestFingerprints:
         """All-zero strings of different lengths get distinct fingerprints."""
         fps = {H.fingerprint_of(BitString(0, n)) for n in range(200)}
         assert len(fps) == 200
+
+
+class TestPow2TableBound:
+    """The class-level 2^n memo must stay bounded under adversarial
+    lengths, evicting oldest-inserted entries FIFO."""
+
+    def setup_method(self):
+        self._saved = dict(IncrementalHasher._POW2_TABLE)
+        self._saved_max = IncrementalHasher._POW2_TABLE_MAX
+
+    def teardown_method(self):
+        IncrementalHasher._POW2_TABLE_MAX = self._saved_max
+        IncrementalHasher._POW2_TABLE.clear()
+        IncrementalHasher._POW2_TABLE.update(self._saved)
+
+    def test_table_never_exceeds_cap(self):
+        IncrementalHasher._POW2_TABLE.clear()
+        IncrementalHasher._POW2_TABLE_MAX = 16
+        for n in range(100):
+            H._pow2(n)
+        assert len(IncrementalHasher._POW2_TABLE) == 16
+
+    def test_fifo_eviction_order(self):
+        IncrementalHasher._POW2_TABLE.clear()
+        IncrementalHasher._POW2_TABLE_MAX = 4
+        for n in (1, 2, 3, 4):
+            H._pow2(n)
+        H._pow2(5)  # evicts 1, the oldest insertion
+        assert set(IncrementalHasher._POW2_TABLE) == {2, 3, 4, 5}
+        H._pow2(2)  # cache hit: no reordering, no eviction
+        H._pow2(6)  # evicts 2 (insertion order, not recency of use)
+        assert set(IncrementalHasher._POW2_TABLE) == {3, 4, 5, 6}
+
+    def test_values_correct_after_eviction(self):
+        IncrementalHasher._POW2_TABLE.clear()
+        IncrementalHasher._POW2_TABLE_MAX = 8
+        for n in range(64):
+            assert H._pow2(n) == pow(2, n, MERSENNE_61)
+        # evicted entries recompute correctly on re-probe
+        for n in range(64):
+            assert H._pow2(n) == pow(2, n, MERSENNE_61)
+
+    def test_hashing_unaffected_by_tiny_cap(self):
+        IncrementalHasher._POW2_TABLE.clear()
+        IncrementalHasher._POW2_TABLE_MAX = 2
+        a, b = bs("10110"), bs("0111010")
+        assert H.combine(H.hash(a), H.hash(b)) == H.hash(a + b)

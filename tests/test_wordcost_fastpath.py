@@ -110,16 +110,23 @@ class TestMessageCostParity:
             "_PieceOp",
         } <= seen
 
-    def test_full_workload_metrics_identical_fast_on_off(self):
+    def test_full_workload_metrics_identical_across_modes(self):
         """Regression: the perf harness's phases (build, LCP, insert,
         delete, subtree, skew flood) give byte-identical per-phase
-        MetricsSnapshots and identical results in both modes."""
-        fast_ph, fast_snaps, fast_res = _run_phases(8, 192, 64, 11, fast=True)
-        base_ph, base_snaps, base_res = _run_phases(8, 192, 64, 11, fast=False)
-        assert list(fast_ph) == list(base_ph)
-        assert fast_snaps == base_snaps
-        assert fast_res == base_res
+        MetricsSnapshots and identical results in all three modes
+        (columnar, object fast path, unoptimized baseline)."""
+        col_ph, col_snaps, col_res = _run_phases(
+            8, 192, 64, 11, mode="columnar"
+        )
+        fast_ph, fast_snaps, fast_res = _run_phases(8, 192, 64, 11, mode="fast")
+        base_ph, base_snaps, base_res = _run_phases(
+            8, 192, 64, 11, mode="baseline"
+        )
+        assert list(col_ph) == list(fast_ph) == list(base_ph)
+        assert col_snaps == fast_snaps == base_snaps
+        assert col_res == fast_res == base_res
         for name in fast_ph:
+            assert col_ph[name]["metrics"] == fast_ph[name]["metrics"], name
             assert fast_ph[name]["metrics"] == base_ph[name]["metrics"], name
 
 

@@ -1,0 +1,52 @@
+"""Cluster benchmark entry point (CI can run this with ``--smoke``).
+
+Sweeps sharding policy × shard count × replication × skew × rack-loss
+scenario through the multi-rack cluster (`repro.cluster`) and writes
+``BENCH_cluster.json``: hash-vs-range skew imbalance, answer-digest
+parity across shard counts, and availability under whole-rack loss
+with K-way replication.  All logic lives in
+:mod:`repro.cluster.bench`:
+
+    PYTHONPATH=src python benchmarks/perf/bench_cluster.py [--smoke]
+
+Not a pytest module: it defines no test functions and only runs under
+``__main__``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def main(argv: list[str] | None = None) -> int:
+    from repro.cluster.bench import run_bench_cluster
+
+    parser = argparse.ArgumentParser(
+        prog="bench_cluster",
+        description="Multi-rack cluster sweep (sharding x shards x "
+        "replication x skew x rack loss, writes BENCH_cluster.json)",
+    )
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized subset (~seconds)")
+    parser.add_argument("--out", default="BENCH_cluster.json",
+                        help="output JSON path (default: %(default)s)")
+    args = parser.parse_args(argv)
+    report = run_bench_cluster(out=args.out, smoke=args.smoke)
+    h = report["headline"]
+    ok = (
+        h["all_correct"]
+        and h["digest_consistent"]
+        and h["availability_k2"] == 1.0
+        and h["skew_resistant"]
+    )
+    print(
+        f"correct={h['all_correct']} digest_consistent="
+        f"{h['digest_consistent']} availability(K>=2)="
+        f"{h['availability_k2']:.3f} skew_resistant={h['skew_resistant']}"
+    )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

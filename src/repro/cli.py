@@ -15,6 +15,9 @@ reproduce, without pytest:
 * ``python -m repro faults [--smoke]``    — fault-injection sweep (E16):
   availability and latency under crashes, stragglers, and lossy
   transport (BENCH_faults.json)
+* ``python -m repro cluster [--smoke]``   — multi-rack cluster sweep
+  (E17): hash vs range sharding under skew, availability under
+  whole-rack loss with K-way replication (BENCH_cluster.json)
 * ``python -m repro trace [--smoke]``     — span tracing + phase
   profiling (repro.obs): runs a traced workload (batch ops plus a
   faulted serve leg), writes a Chrome trace-event JSON, prints the
@@ -213,6 +216,47 @@ def cmd_faults(args: argparse.Namespace) -> int:
     return 0 if head["all_correct"] else 1
 
 
+def cmd_cluster(args: argparse.Namespace) -> int:
+    from .cluster.bench import run_bench_cluster
+
+    report = run_bench_cluster(out=args.out, smoke=args.smoke, seed=args.seed)
+    head = report["headline"]
+    print(f"cluster — sharded racks with replication and rack loss "
+          f"({report['profile']} profile)\n")
+    print("skew (4 shards, K=1): per-shard traffic imbalance (max/mean)")
+    print(f"{'sharding':<10} {'skew':<9} {'imbalance':>10} {'correct':>8}")
+    for row in report["skew"]:
+        print(f"{row['sharding']:<10} {row['skew']:<9} "
+              f"{row['shard_imbalance']:>10.3f} "
+              f"{str(row['answers_match_replay']):>8}")
+    print("\navailability under rack loss (uniform traffic):")
+    print(f"{'scenario':<12} {'shards':>6} {'K':>3} {'avail':>7} "
+          f"{'correct':>8} {'rebuilds':>9} {'lost':>5}")
+    for row in report["availability"]:
+        print(f"{row['scenario']:<12} {row['shards']:>6} "
+              f"{row['replication']:>3} {row['availability']:>7.3f} "
+              f"{str(row['answers_match_replay']):>8} "
+              f"{row['rebuilds']:>9} {len(row['lost_shards']):>5}")
+    print(f"\nheadline: answers match single-trie replay: "
+          f"{head['all_correct']}; digest identical across "
+          f"policies x shard counts: {head['digest_consistent']}; "
+          f"availability K>=2: {head['availability_k2']:.3f} "
+          f"(K=1 floor {head['availability_k1']:.3f}); "
+          f"zipf imbalance hash {head['zipf_imbalance_hash']:.2f} vs "
+          f"range {head['zipf_imbalance_range']:.2f}, flood "
+          f"{head['flood_imbalance_hash']:.2f} vs "
+          f"{head['flood_imbalance_range']:.2f}")
+    if args.out:
+        print(f"wrote {args.out}")
+    ok = (
+        head["all_correct"]
+        and head["digest_consistent"]
+        and head["availability_k2"] == 1.0
+        and head["skew_resistant"]
+    )
+    return 0 if ok else 1
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     import json
 
@@ -368,6 +412,17 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--smoke", action="store_true",
                    help="small deterministic run (fixed P/n/rate)")
     p.add_argument("--out", default="BENCH_faults.json")
+    p.add_argument("--seed", type=int, default=7)
+    p = sub.add_parser(
+        "cluster",
+        help="multi-rack sharded cluster sweep (E17): sharding skew "
+             "resistance + availability under rack loss "
+             "(writes BENCH_cluster.json)",
+    )
+    p.set_defaults(fn=cmd_cluster)
+    p.add_argument("--smoke", action="store_true",
+                   help="small deterministic run (fixed shapes)")
+    p.add_argument("--out", default="BENCH_cluster.json")
     p.add_argument("--seed", type=int, default=7)
     p = sub.add_parser(
         "trace",

@@ -1,0 +1,526 @@
+"""Multi-rack PIM cluster: shards of replicated ``PIMTrie`` racks
+behind a host-side router.
+
+A :class:`PIMCluster` is N *shards* × K *replica slots* of
+:class:`Rack`s, where each rack is a full, independent
+:class:`~repro.pim.PIMSystem` running its own
+:class:`~repro.core.PIMTrie`.  The router owns a
+:class:`~repro.cluster.sharding.ShardingPolicy` and exposes the same
+five batch APIs as a single trie:
+
+* the batch is split into per-shard sub-batches (input order preserved
+  inside each sub-batch),
+* each sub-batch runs on its shard's racks — reads on the first alive
+  replica starting at the primary slot (failover read-routing), writes
+  on *every* alive replica (K-way replication),
+* replies fan back in preserving input order; multi-shard reads
+  combine pointwise (LCP takes the per-key max across probed shards,
+  subtree merges the per-shard item lists — key sets are disjoint
+  across shards, so the merge is a sort, never a dedup).
+
+The result is answer-identical to one big trie: routing is
+deterministic in the key alone, every key lives on exactly one shard
+(times K replicas), and per-shard sub-batches preserve arrival order —
+the differential harness replays the same adversarial sequences
+against a dict oracle to prove it (``tests/test_cluster.py``).
+
+**Failure model.**  :meth:`fail_rack` kills a whole rack (system,
+trie, replica log — everything), modeling a rack-scale outage rather
+than the module-scale faults of :mod:`repro.faults`.  Reads fail over
+to surviving replicas; :meth:`rebalance` then provisions a replacement
+rack into the dead slot and rebuilds it from a survivor's host replica
+log (``PIMTrie.replica_log_items`` — the same log module-crash
+recovery replays, reused at rack scale).  A shard whose last replica
+dies is *lost*: its keys are unrecoverable and operations needing it
+raise :class:`ShardUnavailable` (the serve wrapper converts that into
+per-op ``OP_FAILED`` answers, which is where the availability numbers
+in ``BENCH_cluster.json`` come from).
+
+Every rack's RNG seed derives from the cluster root seed and the
+rack's identity (:func:`~repro.cluster.sharding.derive_rack_seed`), so
+cluster behaviour is a pure function of ``(root_seed, policy, keys,
+ops, loss plan)`` — independent of shard count for the answers, and
+bit-reproducible for the metrics.
+"""
+
+from __future__ import annotations
+
+from contextlib import nullcontext
+from typing import Any, Iterator, Optional, Sequence
+
+from ..bits import BitString
+from ..core import PIMTrie, PIMTrieConfig
+from ..obs import Tracer, maybe_span
+from ..pim import MetricsSnapshot, PIMSystem
+from .sharding import ShardingPolicy, derive_rack_seed
+
+__all__ = ["PIMCluster", "Rack", "ShardUnavailable"]
+
+#: router CPU work per (op, target-shard) routing decision
+_ROUTE_TICKS = 1
+
+
+class ShardUnavailable(RuntimeError):
+    """Raised when an operation needs a shard with no alive replica."""
+
+    def __init__(self, shard: int):
+        super().__init__(f"shard {shard} has no alive replica")
+        self.shard = shard
+
+
+class Rack:
+    """One rack: a private PIM system running one trie replica."""
+
+    def __init__(
+        self,
+        shard: int,
+        slot: int,
+        incarnation: int,
+        *,
+        num_modules: int,
+        seed: int,
+        config: Optional[PIMTrieConfig] = None,
+        keys: Optional[Sequence[BitString]] = None,
+        values: Optional[Sequence[Any]] = None,
+        trace: bool = False,
+        build_span: str = "rack.build",
+        build_cat: str = "op",
+    ):
+        self.shard = shard
+        self.slot = slot
+        self.incarnation = incarnation
+        self.seed = seed
+        self.alive = True
+        self.system = PIMSystem(num_modules, seed=seed)
+        self.tracer: Optional[Tracer] = None
+        if trace:
+            self.tracer = Tracer(
+                self.system,
+                tags={"shard": shard, "replica": slot,
+                      "incarnation": incarnation},
+            )
+        cfg = config if config is not None else PIMTrieConfig(
+            num_modules=num_modules
+        )
+        span = (
+            self.tracer.span(build_span, cat=build_cat,
+                             keys=len(keys) if keys is not None else 0)
+            if self.tracer is not None
+            else nullcontext()
+        )
+        with span:
+            self.trie = PIMTrie(self.system, cfg, keys=keys, values=values)
+
+    @property
+    def uid(self) -> tuple[int, int, int]:
+        """Stable identity: ``(shard, slot, incarnation)``."""
+        return (self.shard, self.slot, self.incarnation)
+
+    def __repr__(self) -> str:
+        state = "alive" if self.alive else "dead"
+        return (f"Rack(shard={self.shard}, slot={self.slot}, "
+                f"inc={self.incarnation}, {state})")
+
+
+class PIMCluster:
+    """Sharded, K-way replicated cluster of PIM-trie racks."""
+
+    def __init__(
+        self,
+        policy: ShardingPolicy,
+        *,
+        replication: int = 1,
+        modules_per_rack: int = 4,
+        root_seed: int = 0,
+        config: Optional[PIMTrieConfig] = None,
+        keys: Optional[Sequence[BitString]] = None,
+        values: Optional[Sequence[Any]] = None,
+        trace: bool = False,
+    ):
+        if replication < 1:
+            raise ValueError("replication factor must be >= 1")
+        self.policy = policy
+        self.num_shards = policy.num_shards
+        self.replication = replication
+        self.modules_per_rack = modules_per_rack
+        self.root_seed = root_seed
+        self.config = config
+        self.trace = trace
+        #: shards irrecoverably lost (every replica died before heal)
+        self.lost_shards: set[int] = set()
+        #: loss / rebuild / shard-lost event records, in order
+        self.events: list[dict[str, Any]] = []
+        #: racks that died and were replaced (kept for metrics history)
+        self.retired: list[Rack] = []
+
+        if keys is not None:
+            keys = list(keys)
+            vals = (
+                list(values) if values is not None else [None] * len(keys)
+            )
+            by_shard: dict[int, tuple[list, list]] = {}
+            for k, v in zip(keys, vals):
+                bucket = by_shard.setdefault(self.policy.home(k), ([], []))
+                bucket[0].append(k)
+                bucket[1].append(v)
+        else:
+            by_shard = {}
+
+        self.racks: list[list[Rack]] = []
+        for s in range(self.num_shards):
+            sk, sv = by_shard.get(s, ([], []))
+            self.racks.append(
+                [
+                    self._provision(s, r, 0, keys=sk, values=sv)
+                    for r in range(replication)
+                ]
+            )
+        #: host-cached per-shard live-key census (routing metadata,
+        #: like the range baseline's ``_counts``)
+        self._counts = [
+            self.racks[s][0].trie.num_keys() for s in range(self.num_shards)
+        ]
+
+    # ------------------------------------------------------------------
+    # provisioning / topology
+    # ------------------------------------------------------------------
+    def _provision(
+        self,
+        shard: int,
+        slot: int,
+        incarnation: int,
+        *,
+        keys: Sequence[BitString],
+        values: Sequence[Any],
+        build_span: str = "rack.build",
+        build_cat: str = "op",
+    ) -> Rack:
+        return Rack(
+            shard,
+            slot,
+            incarnation,
+            num_modules=self.modules_per_rack,
+            seed=derive_rack_seed(self.root_seed, shard, slot, incarnation),
+            config=self.config,
+            keys=keys,
+            values=values,
+            trace=self.trace,
+            build_span=build_span,
+            build_cat=build_cat,
+        )
+
+    def iter_racks(self) -> Iterator[Rack]:
+        """Every current rack (alive or dead), shard-major order."""
+        for row in self.racks:
+            yield from row
+
+    def alive_racks(self, shard: int) -> list[Rack]:
+        return [r for r in self.racks[shard] if r.alive]
+
+    def read_rack(self, shard: int) -> Rack:
+        """Failover read-routing: primary slot first, then survivors."""
+        for rack in self.racks[shard]:
+            if rack.alive:
+                return rack
+        raise ShardUnavailable(shard)
+
+    # ------------------------------------------------------------------
+    # failure and healing
+    # ------------------------------------------------------------------
+    def fail_rack(self, shard: int, slot: int) -> Optional[Rack]:
+        """Kill the rack in ``(shard, slot)``: system, trie, replica
+        log — all of it.  Idempotent on an already-dead slot."""
+        rack = self.racks[shard][slot]
+        if not rack.alive:
+            return None
+        rack.alive = False
+        self.events.append(
+            {"event": "rack-loss", "shard": shard, "replica": slot,
+             "incarnation": rack.incarnation}
+        )
+        if not self.alive_racks(shard):
+            self.lost_shards.add(shard)
+            self.events.append({"event": "shard-lost", "shard": shard})
+        return rack
+
+    def rebalance(self) -> int:
+        """Heal dead slots: provision replacement racks re-replicated
+        from a surviving replica's host log.
+
+        Returns the IO rounds spent rebuilding (the cluster's recovery
+        cost; the serve wrapper charges them to epoch service time).
+        Shards with no survivor are skipped — their keys are gone, and
+        an empty stand-in that answered wrongly would be worse than
+        :class:`ShardUnavailable`.
+        """
+        rounds = 0
+        for s in range(self.num_shards):
+            survivors = self.alive_racks(s)
+            if not survivors:
+                continue
+            for slot in range(self.replication):
+                old = self.racks[s][slot]
+                if old.alive:
+                    continue
+                items = survivors[0].trie.replica_log_items()
+                ordered = sorted(items)
+                fresh = self._provision(
+                    s, slot, old.incarnation + 1,
+                    keys=ordered, values=[items[k] for k in ordered],
+                    build_span="rack.rebuild", build_cat="recovery",
+                )
+                rounds += fresh.system.snapshot().io_rounds
+                self.racks[s][slot] = fresh
+                self.retired.append(old)
+                self.events.append(
+                    {"event": "rebuild", "shard": s, "replica": slot,
+                     "incarnation": fresh.incarnation,
+                     "keys": len(ordered)}
+                )
+        return rounds
+
+    @property
+    def degraded(self) -> bool:
+        """Any dead slot that rebalancing could still heal?"""
+        return any(
+            not r.alive and self.alive_racks(r.shard)
+            for r in self.iter_racks()
+        )
+
+    # ------------------------------------------------------------------
+    # metrics aggregation
+    # ------------------------------------------------------------------
+    def snapshots(self) -> dict[tuple[int, int, int], MetricsSnapshot]:
+        """Current cumulative snapshot of every rack ever provisioned
+        (dead and retired racks freeze at their final counters)."""
+        out = {r.uid: r.system.snapshot() for r in self.iter_racks()}
+        for r in self.retired:
+            out[r.uid] = r.system.snapshot()
+        return out
+
+    def mark(self) -> dict[tuple[int, int, int], MetricsSnapshot]:
+        """A resumable measurement point for :meth:`delta`."""
+        return self.snapshots()
+
+    def delta_by_rack(
+        self, mark: dict[tuple[int, int, int], MetricsSnapshot]
+    ) -> dict[tuple[int, int, int], MetricsSnapshot]:
+        """Per-rack metric deltas since ``mark`` (racks provisioned
+        after the mark report their full counters)."""
+        out = {}
+        for uid, snap in self.snapshots().items():
+            base = mark.get(uid)
+            out[uid] = snap if base is None else snap.delta(base)
+        return out
+
+    def delta(
+        self, mark: dict[tuple[int, int, int], MetricsSnapshot]
+    ) -> MetricsSnapshot:
+        """Cluster-wide metric delta since ``mark``: the per-rack
+        deltas merged rack-major (``MetricsSnapshot.merge``)."""
+        deltas = self.delta_by_rack(mark)
+        return MetricsSnapshot.merge(*(deltas[u] for u in sorted(deltas)))
+
+    def shard_traffic(
+        self, mark: dict[tuple[int, int, int], MetricsSnapshot]
+    ) -> list[int]:
+        """Per-shard words moved since ``mark`` (replicas included) —
+        the numerator of the cross-shard imbalance table in E17."""
+        out = [0] * self.num_shards
+        for (s, _r, _i), d in self.delta_by_rack(mark).items():
+            out[s] += d.total_communication
+        return out
+
+    # ------------------------------------------------------------------
+    # routed batch execution
+    # ------------------------------------------------------------------
+    def _targets(self, kind: str, key: BitString) -> list[int]:
+        if kind in ("insert", "delete", "lookup"):
+            return [self.policy.home(key)]
+        if kind == "lcp":
+            return self.policy.lcp_targets(key, self._counts)
+        if kind == "subtree":
+            return self.policy.subtree_targets(key)
+        raise ValueError(f"unknown op kind {kind!r}")
+
+    def _execute(
+        self,
+        kind: str,
+        keys: Sequence[BitString],
+        values: Optional[Sequence[Any]] = None,
+    ) -> tuple[list[Any], list[bool], int]:
+        """Route, fan out, fan in.
+
+        Returns ``(replies, ok, changed)``: per-op replies in input
+        order, per-op availability (an op is unavailable iff *any*
+        shard its answer needs has no alive replica — a partial LCP or
+        subtree answer would be silently wrong), and for write kinds
+        the number of keys actually added/removed.
+        """
+        keys = list(keys)
+        vals = list(values) if values is not None else [None] * len(keys)
+        sends: dict[int, list[int]] = {}
+        ok = [True] * len(keys)
+        for i, k in enumerate(keys):
+            targets = self._targets(kind, k)
+            if any(not self.alive_racks(s) for s in targets):
+                ok[i] = False
+                continue
+            for s in targets:
+                sends.setdefault(s, []).append(i)
+
+        empty: list[Any] = [] if kind == "subtree" else 0
+        replies: list[Any] = [
+            None if kind == "lookup" else
+            True if kind in ("insert", "delete") else empty
+            for _ in keys
+        ]
+        for i, good in enumerate(ok):
+            if not good:
+                replies[i] = None
+        changed = 0
+        for s in sorted(sends):
+            slots = sends[s]
+            sub_keys = [keys[i] for i in slots]
+            if kind in ("insert", "delete"):
+                primary_reply: Optional[int] = None
+                for rack in self.alive_racks(s):
+                    # the cluster span keeps router CPU ticks inside a
+                    # root span, so per-rack span sums stay exact
+                    with maybe_span(
+                        rack.system, f"cluster.{kind}", cat="op",
+                        ops=len(slots),
+                    ):
+                        rack.system.tick_cpu(_ROUTE_TICKS * len(slots))
+                        if kind == "insert":
+                            r = rack.trie.insert_batch(
+                                sub_keys, [vals[i] for i in slots]
+                            )
+                        else:
+                            r = rack.trie.delete_batch(sub_keys)
+                    if primary_reply is None:
+                        primary_reply = r
+                changed += primary_reply or 0
+                self._counts[s] = self.read_rack(s).trie.num_keys()
+            else:
+                rack = self.read_rack(s)
+                with maybe_span(
+                    rack.system, f"cluster.{kind}", cat="op",
+                    ops=len(slots),
+                ):
+                    rack.system.tick_cpu(_ROUTE_TICKS * len(slots))
+                    if kind == "lcp":
+                        for i, r in zip(
+                            slots, rack.trie.lcp_batch(sub_keys)
+                        ):
+                            replies[i] = max(replies[i], r)
+                    elif kind == "lookup":
+                        for i, r in zip(
+                            slots, rack.trie.lookup_batch(sub_keys)
+                        ):
+                            replies[i] = r
+                    else:  # subtree: shard key sets are disjoint, so
+                        # the cross-shard merge is a sort, not a dedup
+                        for i, items in zip(
+                            slots, rack.trie.subtree_batch(sub_keys)
+                        ):
+                            replies[i] = sorted(
+                                list(replies[i]) + list(items),
+                                key=lambda kv: kv[0],
+                            )
+        return replies, ok, changed
+
+    def _strict(
+        self,
+        kind: str,
+        keys: Sequence[BitString],
+        values: Optional[Sequence[Any]] = None,
+    ) -> tuple[list[Any], int]:
+        replies, ok, changed = self._execute(kind, keys, values)
+        if not all(ok):
+            bad = next(
+                s
+                for i, k in enumerate(keys)
+                if not ok[i]
+                for s in self._targets(kind, k)
+                if not self.alive_racks(s)
+            )
+            raise ShardUnavailable(bad)
+        return replies, changed
+
+    # -- the single-trie batch surface ---------------------------------
+    def lcp_batch(self, keys: Sequence[BitString]) -> list[int]:
+        return self._strict("lcp", keys)[0]
+
+    def lookup_batch(self, keys: Sequence[BitString]) -> list[Any]:
+        return self._strict("lookup", keys)[0]
+
+    def insert_batch(
+        self,
+        keys: Sequence[BitString],
+        values: Optional[Sequence[Any]] = None,
+    ) -> int:
+        return self._strict("insert", keys, values)[1]
+
+    def delete_batch(self, keys: Sequence[BitString]) -> int:
+        return self._strict("delete", keys)[1]
+
+    def subtree_batch(
+        self, prefixes: Sequence[BitString]
+    ) -> list[list[tuple[BitString, Any]]]:
+        return self._strict("subtree", prefixes)[0]
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def num_keys(self) -> int:
+        """Live keys across available shards (lost shards excluded)."""
+        return sum(
+            c
+            for s, c in enumerate(self._counts)
+            if self.alive_racks(s)
+        )
+
+    def keys(self) -> list[BitString]:
+        """All stored keys across available shards (debug facility)."""
+        out: list[BitString] = []
+        for s in range(self.num_shards):
+            if self.alive_racks(s):
+                out.extend(self.read_rack(s).trie.keys())
+        return sorted(out)
+
+    def validate(self) -> None:
+        """Cross-rack invariants (test oracle, not an accounted op):
+        every alive trie validates, replicas of a shard hold identical
+        items, every stored key routes home, and the census is live."""
+        for s in range(self.num_shards):
+            racks = self.alive_racks(s)
+            if not racks:
+                assert s in self.lost_shards
+                continue
+            reference: Optional[dict] = None
+            for rack in racks:
+                rack.trie.validate()
+                items = rack.trie.replica_log_items()
+                if reference is None:
+                    reference = items
+                else:
+                    assert items == reference, (
+                        f"shard {s}: replica {rack.slot} diverges"
+                    )
+            assert reference is not None
+            for k in reference:
+                assert self.policy.home(k) == s, (
+                    f"key {k} stored on shard {s}, routes to "
+                    f"{self.policy.home(k)}"
+                )
+            assert self._counts[s] == len(reference)
+
+    def __repr__(self) -> str:
+        alive = sum(1 for r in self.iter_racks() if r.alive)
+        return (
+            f"PIMCluster({self.policy.describe()}, S={self.num_shards}, "
+            f"K={self.replication}, racks={alive}/"
+            f"{self.num_shards * self.replication} alive, "
+            f"keys={self.num_keys()})"
+        )

@@ -1,0 +1,261 @@
+"""Serve-layer frontend for a cluster: per-shard epochs, rack-loss
+injection, failover availability.
+
+:class:`ClusterService` is the cluster sibling of
+:class:`repro.serve.EpochServer`: the same arrival loop, the same
+continuous-batching scheduler and admission control, the same
+same-kind segment decomposition (:func:`repro.serve.server.segments`)
+— but each epoch fans out through the :class:`PIMCluster` router, so
+one service epoch becomes per-shard sub-epochs executing on
+independent racks.
+
+**Service model.**  Racks run in parallel, so an epoch's simulated
+service time is the *maximum* over racks of that rack's
+``round_time * io_rounds + word_time * io_time`` delta — the critical
+path — rather than the sum.  (The epoch's :class:`EpochRecord` still
+carries the summed deltas, merged via ``MetricsSnapshot.merge``, for
+throughput accounting.)
+
+**Rack loss.**  A :class:`~repro.cluster.plan.RackLossPlan` schedules
+whole-rack deaths on the epoch clock.  A loss fires *inside* its epoch,
+immediately before the first segment that routes work to the doomed
+rack's shard (losses whose shard stays idle fire at epoch end) — so
+the remainder of the epoch exercises failover read-routing, not a
+clean restart.  Dead slots are healed by a proactive
+:meth:`PIMCluster.rebalance` sweep at the next epoch launch (the
+cluster analogue of ``EpochServer``'s proactive module recovery);
+rebuild rounds are charged to that epoch's service time.  Operations
+that need a shard with no surviving replica complete with
+:data:`~repro.serve.slo.OP_FAILED` — the availability metric of
+``BENCH_cluster.json``.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from typing import Any, Optional
+
+from ..pim import MetricsSnapshot
+from ..serve.scheduler import ContinuousBatchingScheduler, SchedulerPolicy
+from ..serve.server import segments
+from ..serve.slo import OP_FAILED, CompletedOp, EpochRecord, ServiceReport
+from ..serve.trace import Operation, Trace
+from .cluster import PIMCluster
+from .plan import RackLossPlan
+
+__all__ = ["ClusterService"]
+
+
+class ClusterService:
+    """Continuous-batching frontend over a :class:`PIMCluster`."""
+
+    def __init__(
+        self,
+        cluster: PIMCluster,
+        policy: SchedulerPolicy,
+        *,
+        round_time: float = 1.0,
+        word_time: float = 0.001,
+        plan: Optional[RackLossPlan] = None,
+    ):
+        if round_time < 0 or word_time < 0:
+            raise ValueError("service-model coefficients must be >= 0")
+        self.cluster = cluster
+        self.policy = policy
+        self.round_time = round_time
+        self.word_time = word_time
+        self.plan = plan if plan is not None else RackLossPlan.empty()
+
+    # ------------------------------------------------------------------
+    def _rack_service(self, delta: MetricsSnapshot) -> float:
+        return self.round_time * delta.io_rounds + self.word_time * delta.io_time
+
+    def _apply_losses(
+        self, pending: set, shards: set[int], causes: list[str]
+    ) -> None:
+        """Fire the pending losses whose shard is in ``shards``."""
+        for shard, slot in sorted(pending):
+            if shard in shards:
+                if self.cluster.fail_rack(shard, slot) is not None:
+                    causes.append(f"rack-loss:{shard}.{slot}")
+                pending.discard((shard, slot))
+
+    def _segment_shards(self, kind: str, ops: list[Operation]) -> set[int]:
+        return {
+            s for op in ops for s in self.cluster._targets(kind, op.key)
+        }
+
+    def _run_segment(self, kind: str, ops: list[Operation]) -> list[Any]:
+        keys = [op.key for op in ops]
+        values = [op.value for op in ops] if kind == "insert" else None
+        replies, ok, _ = self.cluster._execute(kind, keys, values)
+        if kind in ("insert", "delete"):
+            replies = [True] * len(ops)
+        return [
+            r if good else OP_FAILED for r, good in zip(replies, ok)
+        ]
+
+    # ------------------------------------------------------------------
+    def run(self, trace: Trace) -> ServiceReport:
+        """Drive the event loop over ``trace``; returns the report."""
+        cluster = self.cluster
+        ops = trace.ops
+        n = len(ops)
+        policy = self.policy
+        sched = ContinuousBatchingScheduler(policy)
+
+        completed: list[CompletedOp] = []
+        epochs: list[EpochRecord] = []
+        rounds_at_admit: dict[int, int] = {}
+        wall_at_admit: dict[int, float] = {}
+        cum_rounds = 0
+        cum_wall = 0.0
+        failed_total = 0
+        losses_fired = 0
+        free_at = 0.0
+        i = 0
+        mark_all = cluster.mark()
+
+        def admit(op: Operation) -> None:
+            nonlocal i
+            if sched.admit(op, degraded=cluster.degraded):
+                rounds_at_admit[op.seq] = cum_rounds
+                wall_at_admit[op.seq] = cum_wall
+            i += 1
+
+        while i < n or sched.pending:
+            if not sched.pending:
+                admit(ops[i])
+                continue
+
+            # launch-time decision: identical to EpochServer (the
+            # scheduler contract is shared, only the executor differs)
+            head_t = sched.head_arrival()
+            earliest = max(free_at, head_t)
+            deadline = head_t + policy.max_wait
+            while True:
+                if sched.full():
+                    launch = max(free_at, sched.fill_arrival())
+                    break
+                target = max(earliest, deadline)
+                if i < n and ops[i].time <= target:
+                    admit(ops[i])
+                    continue
+                if i < n:
+                    launch = target
+                else:
+                    launch = max(earliest, min(deadline, sched.pending[-1].time))
+                break
+            while i < n and ops[i].time <= launch:
+                admit(ops[i])
+
+            depth = len(sched.pending)
+            batch = sched.take_epoch(launch)
+            assert batch, "scheduler cut an empty epoch"
+
+            e = len(epochs)
+            pending = {
+                (loss.shard, loss.replica) for loss in self.plan.for_epoch(e)
+            }
+            causes: list[str] = []
+            recovery_rounds = 0
+            mark = cluster.mark()
+            t0 = _time.perf_counter()
+
+            # proactive heal: replacement racks for slots lost in
+            # earlier epochs come up before new work launches, so their
+            # rebuild rounds land in this epoch's service time
+            if self.plan.rebalance and cluster.degraded:
+                recovery_rounds += cluster.rebalance()
+
+            replies: list[Any] = []
+            kinds: list[str] = []
+            for kind, seg in segments(batch):
+                kinds.append(kind)
+                # a death scheduled for this epoch strikes the moment
+                # its shard is about to run — mid-epoch, not between
+                self._apply_losses(
+                    pending, self._segment_shards(kind, seg), causes
+                )
+                replies.extend(self._run_segment(kind, seg))
+            # losses whose shard saw no work this epoch still happen
+            self._apply_losses(
+                pending, set(range(cluster.num_shards)), causes
+            )
+            losses_fired += len(causes)
+
+            wall = _time.perf_counter() - t0
+            deltas = cluster.delta_by_rack(mark)
+            merged = MetricsSnapshot.merge(
+                *(deltas[u] for u in sorted(deltas))
+            )
+            # racks run in parallel: the epoch takes as long as its
+            # slowest rack (recovery rebuilds included)
+            service = max(
+                (self._rack_service(d) for d in deltas.values()),
+                default=0.0,
+            )
+            ep_failed = sum(1 for r in replies if r is OP_FAILED)
+            failed_total += ep_failed
+            completion = launch + service
+            free_at = completion
+            cum_rounds += merged.io_rounds
+            cum_wall += wall
+            epochs.append(
+                EpochRecord(
+                    index=e, launch=launch, service=service,
+                    completion=completion, size=len(batch),
+                    kinds=tuple(kinds), queue_depth=depth,
+                    io_rounds=merged.io_rounds, io_time=merged.io_time,
+                    communication=merged.total_communication,
+                    pim_time=merged.pim_time, wall_seconds=wall,
+                    degraded=bool(causes or recovery_rounds or ep_failed),
+                    retries=0,
+                    recovery_rounds=recovery_rounds,
+                    causes=tuple(causes),
+                )
+            )
+            for op, reply in zip(batch, replies):
+                completed.append(
+                    CompletedOp(
+                        seq=op.seq, client_id=op.client_id, kind=op.kind,
+                        arrival=op.time, launch=launch,
+                        completion=completion, epoch=e, reply=reply,
+                        latency_rounds=cum_rounds - rounds_at_admit[op.seq],
+                        wall_seconds=cum_wall - wall_at_admit[op.seq],
+                        ok=reply is not OP_FAILED,
+                    )
+                )
+
+        rebuilds = sum(
+            1 for ev in cluster.events if ev["event"] == "rebuild"
+        )
+        fault_stats = (
+            {
+                "rack_losses": losses_fired,
+                "rebuilds": rebuilds,
+                "lost_shards": sorted(cluster.lost_shards),
+            }
+            if losses_fired
+            else {}
+        )
+        return ServiceReport(
+            policy=policy.describe(),
+            trace=trace.name,
+            num_ops=n,
+            completed=completed,
+            dropped=len(sched.dropped),
+            epochs=epochs,
+            metrics=cluster.delta(mark_all),
+            round_time=self.round_time,
+            word_time=self.word_time,
+            max_batch=policy.max_batch,
+            failed=failed_total,
+            faults=fault_stats,
+            extra={
+                "sharding": cluster.policy.describe(),
+                "shards": cluster.num_shards,
+                "replication": cluster.replication,
+                "modules_per_rack": cluster.modules_per_rack,
+            },
+        )

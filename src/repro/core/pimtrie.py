@@ -1879,6 +1879,26 @@ class PIMTrie:
         msg = _MasterDelta(add=adds, remove=[], full=True)
         self.system.round("pimtrie.master", {m: [msg] for m in sorted(modset)})
 
+    def replica_log_items(self) -> dict[BitString, Any]:
+        """The key/value union of the host replica log.
+
+        At round boundaries this equals the stored key set exactly —
+        the invariant every maintenance path keeps — which makes it the
+        seed for any rebuild that cannot trust module state:
+        :meth:`rebuild_from_mirror` after a structural abort, and the
+        cluster layer's re-replication of a lost rack onto a
+        replacement (``repro.cluster``).  Host-side only: no rounds, no
+        accounted cost.
+        """
+        union: dict[BitString, Any] = {}
+        for bid, log in self._block_items.items():
+            base = self._root_strings.get(bid)
+            if base is None:
+                continue
+            for rel, v in log.items():
+                union[base + rel] = v
+        return union
+
     def rebuild_from_mirror(self) -> None:
         """Full recovery: wipe every module's pimtrie state and rebuild
         the whole index from the union of the replica log.
@@ -1888,13 +1908,7 @@ class PIMTrie:
         but the replica-log union always equals the key set at round
         boundaries — the one invariant every maintenance path keeps.
         """
-        union: dict[BitString, Any] = {}
-        for bid, log in self._block_items.items():
-            base = self._root_strings.get(bid)
-            if base is None:
-                continue
-            for rel, v in log.items():
-                union[base + rel] = v
+        union = self.replica_log_items()
         keys = sorted(union)
         vals = [union[k] for k in keys]
         self.system.round(

@@ -1,5 +1,5 @@
 """The fault-tolerance benchmark (E16): availability and latency under
-crashes, stragglers, and lossy transport.
+crashes, stragglers, lossy transport, and whole-rack loss.
 
 Writes ``BENCH_faults.json``.  Each scenario builds a fresh resident
 index and a seeded online trace, installs a :class:`FaultPlan`, replays
@@ -18,7 +18,11 @@ retries), and records
 
 Scenario plans are expressed on injected-round indices (round 0 =
 first round after install, i.e. the first online round — the resident
-build is not subject to faults).
+build is not subject to faults).  The ``rack-loss`` scenario steps up
+a level: instead of killing modules inside one system it kills an
+entire rack of a small replicated cluster (``repro.cluster``), using
+the same ``one-rack`` schedule as the E17 cluster sweep — one scenario
+definition, two benchmarks.
 """
 
 from __future__ import annotations
@@ -73,7 +77,80 @@ def _scenario_plan(name: str, P: int) -> FaultPlan:
     raise ValueError(f"unknown fault scenario {name!r}")
 
 
-SCENARIOS = ("none", "crash", "straggler", "crash+straggler", "lossy")
+#: shards / replication shape of the ``rack-loss`` scenario (module
+#: crashes strike one system; this one kills an entire rack of a small
+#: replicated cluster instead — the schedule itself comes from
+#: ``repro.cluster.plan.rack_loss_schedule``, shared with E17)
+RACK_LOSS_SHARDS = 2
+RACK_LOSS_REPLICATION = 2
+
+SCENARIOS = ("none", "crash", "straggler", "crash+straggler", "lossy",
+             "rack-loss")
+
+
+def _bench_rack_loss(
+    *,
+    P: int,
+    resident: int,
+    n_ops: int,
+    length: int,
+    rate: float,
+    seed: int,
+) -> dict[str, Any]:
+    """The whole-rack crash + recovery scenario: one rack of a
+    2-shard, K=2 cluster dies mid-epoch (the ``one-rack`` schedule E17
+    also runs), reads fail over, and rebalancing rebuilds the slot from
+    the surviving replica's log."""
+    from ..cluster import ClusterService, PIMCluster, rack_loss_schedule
+    from ..cluster.sharding import HashSharding
+
+    keys = uniform_keys(resident, length, seed=seed + 1)
+    trace = make_trace(
+        n_ops, length=length, rate=rate, seed=seed, name="faults-rack-loss"
+    )
+    plan = rack_loss_schedule(
+        "one-rack",
+        num_shards=RACK_LOSS_SHARDS,
+        replication=RACK_LOSS_REPLICATION,
+    )
+    reset_id_counters()
+    cluster = PIMCluster(
+        HashSharding(RACK_LOSS_SHARDS), replication=RACK_LOSS_REPLICATION,
+        modules_per_rack=P, root_seed=seed, keys=keys, values=keys,
+    )
+    service = ClusterService(
+        cluster, policy_from_name(POLICY), plan=plan
+    )
+    report = service.run(trace)
+
+    reset_id_counters()
+    twin_system = PIMSystem(P, seed=1)
+    twin = PIMTrie(
+        twin_system, PIMTrieConfig(num_modules=P), keys=keys, values=keys
+    )
+    direct = dict(replay_direct(twin, trace.ops))
+    served = {c.seq: c.reply for c in report.completed if c.ok}
+    matches = all(direct[seq] == reply for seq, reply in served.items())
+
+    lat = report.latency()
+    return {
+        "scenario": "rack-loss",
+        "plan": plan.as_dict(),
+        "policy": report.policy,
+        "num_ops": report.num_ops,
+        "completed": len(report.completed),
+        "failed": report.failed,
+        "availability": report.availability,
+        "answers_match_replay": matches,
+        "degraded_epochs": report.degraded_epochs,
+        "retries": report.total_retries,
+        "recovery_rounds": report.total_recovery_rounds,
+        "faults": dict(report.faults),
+        "makespan": report.makespan,
+        "latency": {k: lat[k] for k in ("p50", "p95", "p99", "max")},
+        "io_rounds": report.metrics.io_rounds,
+        "communication": report.metrics.total_communication,
+    }
 
 
 def bench_scenario(
@@ -87,6 +164,11 @@ def bench_scenario(
     seed: int = 7,
 ) -> dict[str, Any]:
     """Run one fault scenario; returns its JSON record."""
+    if name == "rack-loss":
+        return _bench_rack_loss(
+            P=P, resident=resident, n_ops=n_ops, length=length,
+            rate=rate, seed=seed,
+        )
 
     def fresh() -> tuple[PIMSystem, PIMTrie]:
         reset_id_counters()

@@ -106,12 +106,22 @@ class Tracer:
     (e.g. ``RoundAborted`` unwinding out of a segment).
     """
 
-    def __init__(self, system: Any = None, *, clock=time.perf_counter):
+    def __init__(
+        self,
+        system: Any = None,
+        *,
+        clock=time.perf_counter,
+        tags: Optional[dict] = None,
+    ):
         self.clock = clock
         self._origin = clock()
         self.spans: list[Span] = []
         self._stack: list[Span] = []
         self._next_sid = 0
+        #: constant args stamped onto every span this tracer records
+        #: (e.g. ``{"shard": 2}`` so a cluster's per-rack traces stay
+        #: attributable after merging); explicit span args win on clash
+        self.tags: dict = dict(tags or {})
         self.system: Any = None
         if system is not None:
             self.attach(system)
@@ -156,7 +166,7 @@ class Tracer:
             cat=cat,
             depth=len(self._stack),
             t0=self._now(),
-            args=dict(args),
+            args={**self.tags, **args},
             _m0=self._counters(),
         )
         self._next_sid += 1
@@ -227,7 +237,7 @@ class Tracer:
             words=rec.total_words,
             pim_time=rec.pim_time,
             cpu_work=0,
-            args={"modules": sum(1 for w in words_to if w)},
+            args={**self.tags, "modules": sum(1 for w in words_to if w)},
         )
         self._next_sid += 1
         if aborted is not None:

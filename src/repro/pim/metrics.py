@@ -100,6 +100,48 @@ class MetricsSnapshot:
             ),
         )
 
+    @classmethod
+    def merge(cls, *snapshots: "MetricsSnapshot") -> "MetricsSnapshot":
+        """Aggregate snapshots from *independent* systems into one.
+
+        Scalars are summed; per-module distributions are concatenated
+        in argument order, so the merged snapshot's imbalance ratios
+        range over every module of every system (a cluster-wide
+        load-balance view, not an average of per-rack views).
+
+        Merging commutes with :meth:`delta`: merging per-system deltas
+        equals the delta of merged before/after snapshots, because every
+        scalar is additive and concatenation is position-preserving.
+        A snapshot whose traffic and work distributions disagree in
+        length is malformed and raises ``ValueError``.
+        """
+        if not snapshots:
+            raise ValueError("merge needs at least one snapshot")
+        for i, s in enumerate(snapshots):
+            if len(s.per_module_traffic) != len(s.per_module_work):
+                raise ValueError(
+                    f"snapshot {i} is malformed: "
+                    f"{len(s.per_module_traffic)} traffic modules vs "
+                    f"{len(s.per_module_work)} work modules"
+                )
+        traffic: tuple[int, ...] = ()
+        work: tuple[int, ...] = ()
+        for s in snapshots:
+            traffic += s.per_module_traffic
+            work += s.per_module_work
+        return cls(
+            io_rounds=sum(s.io_rounds for s in snapshots),
+            io_time=sum(s.io_time for s in snapshots),
+            total_communication=sum(
+                s.total_communication for s in snapshots
+            ),
+            pim_time=sum(s.pim_time for s in snapshots),
+            pim_work=sum(s.pim_work for s in snapshots),
+            cpu_work=sum(s.cpu_work for s in snapshots),
+            per_module_traffic=traffic,
+            per_module_work=work,
+        )
+
     # ------------------------------------------------------------------
     # load-balance statistics (Definition 1: PIM-balanced)
     # ------------------------------------------------------------------

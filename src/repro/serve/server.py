@@ -55,11 +55,17 @@ from .scheduler import ContinuousBatchingScheduler, SchedulerPolicy
 from .slo import OP_FAILED, CompletedOp, EpochRecord, ServiceReport
 from .trace import Operation, Trace
 
-__all__ = ["EpochServer", "replay_direct"]
+__all__ = ["EpochServer", "execute_segment", "replay_direct", "segments"]
 
 
-def _segments(batch: Sequence[Operation]) -> list[tuple[str, list[Operation]]]:
-    """Split a batch into maximal consecutive same-kind runs."""
+def segments(batch: Sequence[Operation]) -> list[tuple[str, list[Operation]]]:
+    """Split a batch into maximal consecutive same-kind runs.
+
+    Public because every epoch executor (the single-trie
+    :class:`EpochServer`, the cluster router in :mod:`repro.cluster`)
+    shares this decomposition — it is what makes epoch replay order-
+    preserving: reads never cross writes.
+    """
     out: list[tuple[str, list[Operation]]] = []
     for op in batch:
         if out and out[-1][0] == op.kind:
@@ -69,8 +75,13 @@ def _segments(batch: Sequence[Operation]) -> list[tuple[str, list[Operation]]]:
     return out
 
 
-def _execute_segment(trie: PIMTrie, kind: str, ops: list[Operation]) -> list[Any]:
-    """Run one same-kind segment through the matching batch API."""
+def execute_segment(trie: Any, kind: str, ops: list[Operation]) -> list[Any]:
+    """Run one same-kind segment through the matching batch API.
+
+    ``trie`` is duck-typed: anything exposing the four batch methods
+    (``PIMTrie``, a baseline index, a :class:`repro.cluster.PIMCluster`)
+    works.
+    """
     if kind == "lcp":
         return trie.lcp_batch([o.key for o in ops])
     if kind == "insert":
@@ -140,7 +151,7 @@ class EpochServer:
                     self.system, f"segment.{kind}", cat="segment",
                     ops=len(ops),
                 ):
-                    return _execute_segment(self.trie, kind, ops)
+                    return execute_segment(self.trie, kind, ops)
             except RoundAborted as e:
                 attempt += 1
                 ep["causes"].append(e.cause)
@@ -239,7 +250,7 @@ class EpochServer:
                     ep["recovery_rounds"] += recover(self.trie)
                 replies: list[Any] = []
                 kinds: list[str] = []
-                for kind, seg in _segments(batch):
+                for kind, seg in segments(batch):
                     kinds.append(kind)
                     replies.extend(self._run_segment(kind, seg, ep))
             finally:
@@ -326,7 +337,7 @@ def replay_direct(
     every scheduler policy.
     """
     out: list[tuple[int, Any]] = []
-    for kind, seg in _segments(list(ops)):
-        replies = _execute_segment(trie, kind, seg)
+    for kind, seg in segments(list(ops)):
+        replies = execute_segment(trie, kind, seg)
         out.extend((op.seq, r) for op, r in zip(seg, replies))
     return out

@@ -34,7 +34,11 @@ from repro.perf import reset_id_counters
 __all__ = [
     "DictOracle",
     "TARGETS",
+    "CLUSTER_POLICIES",
+    "CLUSTER_SHARD_COUNTS",
+    "cluster_targets",
     "gen_ops",
+    "make_cluster",
     "run_sequence",
     "divergences",
     "shrink",
@@ -117,6 +121,54 @@ TARGETS: dict[str, Callable[[], Any]] = {
     "dist-radix": make_radix,
     "range-partition": make_range,
 }
+
+
+# ----------------------------------------------------------------------
+# cluster mode: the same oracle comparison, run against multi-rack
+# clusters over both sharding policies and a spread of shard counts
+# ----------------------------------------------------------------------
+CLUSTER_POLICIES = ("hash", "range")
+CLUSTER_SHARD_COUNTS = (1, 2, 4, 8)
+#: modules per rack — small for the same reason P is
+CLUSTER_P_RACK = 2
+
+
+def make_cluster(policy: str, shards: int, replication: int = 1) -> Any:
+    """A fresh empty cluster target (PIMTrieConfig-default racks).
+
+    ``range`` uses uniform bootstrap separators (the cluster starts
+    empty, so there are no resident keys to split) — routing is still
+    non-trivial because the harness keys are 4..MAX_BITS bits.
+    """
+    from repro.cluster import HashSharding, PIMCluster, RangeSharding
+
+    reset_id_counters()
+    if policy == "hash":
+        pol = HashSharding(shards)
+    elif policy == "range":
+        pol = RangeSharding.uniform(shards)
+    else:
+        raise ValueError(f"unknown cluster policy {policy!r}")
+    return PIMCluster(
+        pol, replication=replication, modules_per_rack=CLUSTER_P_RACK,
+        root_seed=1,
+    )
+
+
+def cluster_targets(
+    *,
+    policies: tuple = CLUSTER_POLICIES,
+    shard_counts: tuple = CLUSTER_SHARD_COUNTS,
+    replication: int = 1,
+) -> dict[str, Callable[[], Any]]:
+    """Factories for :func:`divergences` covering the cluster grid."""
+    return {
+        f"cluster-{p}-s{s}": (
+            lambda p=p, s=s: make_cluster(p, s, replication)
+        )
+        for p in policies
+        for s in shard_counts
+    }
 
 
 # ----------------------------------------------------------------------

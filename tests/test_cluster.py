@@ -1,0 +1,316 @@
+"""Cluster-mode tests: differential parity against the dict oracle,
+rack-loss failover, rebalancing, determinism, and per-rack span sums.
+
+The cluster must be an *execution strategy*, never a semantic change:
+every sharding policy, shard count, replication factor, and rack-loss
+schedule (with K>=2) has to produce exactly the single-trie oracle's
+answers.  The quick tier replays CLUSTER_SEEDS adversarial sequences
+over both policies x shard counts {1, 2, 4, 8}; the slow tier extends
+the seed range (nightly via ``pytest -m slow``).
+"""
+
+import pytest
+
+from repro.cluster import (
+    ClusterService,
+    HashSharding,
+    PIMCluster,
+    ShardUnavailable,
+    derive_rack_seed,
+    rack_loss_schedule,
+)
+from repro.obs import root_metric_sums
+from repro.perf import reset_id_counters
+from repro.pim import MetricsSnapshot
+
+from tests import harness
+
+#: >= 8 seeds x both policies x shard counts {1,2,4,8} (tentpole gate)
+CLUSTER_SEEDS = tuple(range(8))
+SLOW_CLUSTER_SEEDS = tuple(range(8, 24))
+
+
+def check_cluster_seeds(seeds, **target_kw):
+    targets = harness.cluster_targets(**target_kw)
+    for seed in seeds:
+        ops = harness.gen_ops(seed)
+        bad = harness.divergences(ops, targets=targets)
+        if bad:
+            small = harness.shrink(
+                ops,
+                lambda o: bool(harness.divergences(o, targets=targets)),
+            )
+            raise AssertionError(
+                f"seed {seed} diverged:\n" + "\n".join(bad[:4])
+                + "\nminimal repro:\n" + harness.format_ops(small)
+                + "\n"
+                + "\n".join(
+                    harness.divergences(small, targets=targets)[:4]
+                )
+            )
+
+
+# ----------------------------------------------------------------------
+# differential parity (tentpole: answer-identical to the oracle)
+# ----------------------------------------------------------------------
+class TestClusterDifferential:
+    @pytest.mark.parametrize("seed", CLUSTER_SEEDS)
+    def test_all_policies_and_shard_counts_match_oracle(self, seed):
+        check_cluster_seeds([seed])
+
+    def test_replicated_cluster_matches_oracle(self):
+        # K=2: every write lands on two racks, reads come from one
+        check_cluster_seeds(
+            CLUSTER_SEEDS[:3], shard_counts=(2, 4), replication=2
+        )
+
+
+@pytest.mark.slow
+class TestClusterDifferentialSlow:
+    @pytest.mark.parametrize("seed", SLOW_CLUSTER_SEEDS)
+    def test_extended_seeds(self, seed):
+        check_cluster_seeds([seed])
+
+    @pytest.mark.parametrize("seed", SLOW_CLUSTER_SEEDS[:8])
+    def test_extended_replicated(self, seed):
+        check_cluster_seeds([seed], shard_counts=(2, 8), replication=2)
+
+
+# ----------------------------------------------------------------------
+# determinism (satellite: seeds from identity, answers from keys only)
+# ----------------------------------------------------------------------
+class TestClusterDeterminism:
+    @pytest.mark.parametrize("seed", CLUSTER_SEEDS[:4])
+    def test_answers_identical_across_shard_counts(self, seed):
+        ops = harness.gen_ops(seed)
+        runs = {
+            (pol, s): harness.run_sequence(
+                lambda: harness.make_cluster(pol, s), ops
+            )
+            for pol in harness.CLUSTER_POLICIES
+            for s in harness.CLUSTER_SHARD_COUNTS
+        }
+        reference = runs[("hash", 1)]
+        for key, replies in runs.items():
+            assert replies == reference, f"{key} diverged from 1-shard"
+
+    def test_rack_seeds_derive_from_identity_not_shard_order(self):
+        # the seed of rack (shard, slot) must not depend on how many
+        # shards exist or in which order racks were provisioned
+        assert derive_rack_seed(7, 1, 0) == derive_rack_seed(7, 1, 0)
+        small = PIMCluster(HashSharding(2), root_seed=7)
+        large = PIMCluster(HashSharding(8), root_seed=7)
+        for s in range(2):
+            assert (
+                small.racks[s][0].seed == large.racks[s][0].seed
+                == derive_rack_seed(7, s, 0)
+            )
+        # distinct racks, distinct streams; replacements re-roll
+        seeds = {
+            derive_rack_seed(7, s, r, i)
+            for s in range(4)
+            for r in range(3)
+            for i in range(2)
+        }
+        assert len(seeds) == 4 * 3 * 2
+
+    def test_bench_summary_invariant_across_shard_counts(self):
+        from repro.cluster.bench import SMOKE, bench_cluster_run
+
+        digests = {
+            (pol, s): bench_cluster_run(
+                sharding=pol, shards=s, replication=1, **SMOKE
+            )["answers_digest"]
+            for pol in ("hash", "range")
+            for s in (1, 2, 4)
+        }
+        assert len(set(digests.values())) == 1, digests
+
+
+# ----------------------------------------------------------------------
+# failover, rebalancing, and loss semantics
+# ----------------------------------------------------------------------
+def _fresh_oracle_and_cluster(shards=4, replication=2, policy="hash"):
+    oracle = harness.DictOracle()
+    cluster = harness.make_cluster(policy, shards, replication)
+    return oracle, cluster
+
+
+class TestRackLoss:
+    @pytest.mark.parametrize("policy", ["hash", "range"])
+    def test_failover_and_rebuild_keep_oracle_parity(self, policy):
+        # kill racks between batches: primary first, then (after the
+        # heal) the survivor — the final answers come entirely from
+        # replacement racks rebuilt off the replica log
+        ops = harness.gen_ops(3, batches=10)
+        oracle, cluster = _fresh_oracle_and_cluster(policy=policy)
+        for i, (kind, payload) in enumerate(ops):
+            want = harness.apply_batch(oracle, kind, payload)
+            got = harness.apply_batch(cluster, kind, payload)
+            if got is not None:
+                assert got == want, f"batch {i} ({kind})"
+            if i == 2:
+                cluster.fail_rack(0, 0)
+            elif i == 4:
+                assert cluster.rebalance() >= 0
+                cluster.fail_rack(0, 1)  # the original survivor
+            elif i == 6:
+                cluster.rebalance()
+        cluster.validate()
+        incarnations = {r.incarnation for r in cluster.racks[0]}
+        assert incarnations == {1}, "both slots must be replacements"
+
+    def test_lost_shard_raises_shard_unavailable(self):
+        _, cluster = _fresh_oracle_and_cluster(shards=2, replication=1)
+        keys = [harness._rand_key(__import__("random").Random(5))
+                for _ in range(8)]
+        cluster.insert_batch(keys, [str(k) for k in keys])
+        dead = cluster.policy.home(keys[0])
+        cluster.fail_rack(dead, 0)
+        assert dead in cluster.lost_shards
+        with pytest.raises(ShardUnavailable):
+            cluster.lookup_batch([keys[0]])
+        # LCP broadcasts, so it needs the lost shard too
+        with pytest.raises(ShardUnavailable):
+            cluster.lcp_batch([keys[0]])
+        # a no-survivor shard is not rebuilt from nothing
+        assert cluster.rebalance() == 0
+        assert not cluster.alive_racks(dead)
+
+    def test_fail_rack_is_idempotent(self):
+        _, cluster = _fresh_oracle_and_cluster(shards=2, replication=2)
+        assert cluster.fail_rack(0, 0) is not None
+        assert cluster.fail_rack(0, 0) is None
+        assert len([e for e in cluster.events
+                    if e["event"] == "rack-loss"]) == 1
+
+
+# ----------------------------------------------------------------------
+# serve wiring: per-shard epochs, mid-epoch loss, availability
+# ----------------------------------------------------------------------
+class TestClusterService:
+    def _run(self, scenario, replication, shards=2):
+        from repro import PIMSystem, PIMTrie, PIMTrieConfig
+        from repro.serve import make_trace, policy_from_name, replay_direct
+        from repro.workloads import uniform_keys
+
+        P, resident, n_ops, length = 4, 96, 80, 64
+        keys = uniform_keys(resident, length, seed=8)
+        trace = make_trace(n_ops, length=length, rate=0.25, seed=7)
+        reset_id_counters()
+        cluster = PIMCluster(
+            HashSharding(shards), replication=replication,
+            modules_per_rack=P, root_seed=3, keys=keys, values=keys,
+        )
+        plan = rack_loss_schedule(
+            scenario, num_shards=shards, replication=replication
+        )
+        service = ClusterService(
+            cluster, policy_from_name("deadline:20"), plan=plan
+        )
+        report = service.run(trace)
+        reset_id_counters()
+        twin = PIMTrie(
+            PIMSystem(P, seed=1), PIMTrieConfig(num_modules=P),
+            keys=keys, values=keys,
+        )
+        direct = dict(replay_direct(twin, trace.ops))
+        served = {c.seq: c.reply for c in report.completed if c.ok}
+        assert all(direct[s] == r for s, r in served.items()), scenario
+        return report, cluster
+
+    @pytest.mark.parametrize(
+        "scenario", ["none", "one-rack", "rolling", "shard-wipe"]
+    )
+    def test_k2_keeps_availability_at_one(self, scenario):
+        report, cluster = self._run(scenario, replication=2)
+        assert report.availability == 1.0
+        assert not cluster.lost_shards
+        if scenario != "none":
+            assert report.faults["rack_losses"] >= 1
+            assert report.faults["rebuilds"] >= 1
+            assert report.total_recovery_rounds > 0
+
+    def test_k1_loss_drops_availability(self):
+        report, cluster = self._run("one-rack", replication=1)
+        assert cluster.lost_shards == {0}
+        assert 0 < report.availability < 1.0
+        assert report.failed > 0
+
+    def test_shard_wipe_replaces_every_original_rack(self):
+        _, cluster = self._run("shard-wipe", replication=2)
+        assert {r.incarnation for r in cluster.racks[0]} == {1}
+
+
+# ----------------------------------------------------------------------
+# observability: shard-tagged spans, per-rack span-sum exactness
+# ----------------------------------------------------------------------
+class TestClusterObservability:
+    def test_per_rack_span_sums_and_shard_tags(self):
+        import random
+
+        rng = random.Random(11)
+        keys = [harness._rand_key(rng) for _ in range(24)]
+        reset_id_counters()
+        cluster = PIMCluster(
+            HashSharding(2), replication=2, modules_per_rack=2,
+            root_seed=5, keys=keys, values=[str(k) for k in keys],
+            trace=True,
+        )
+        cluster.lcp_batch(keys[:8])
+        cluster.insert_batch(keys[:4], ["x"] * 4)
+        cluster.subtree_batch([k.prefix(2) for k in keys[:3]])
+        cluster.fail_rack(0, 0)
+        cluster.delete_batch(keys[:6])
+        cluster.rebalance()
+        cluster.lcp_batch(keys[:8])
+
+        racks = list(cluster.iter_racks()) + cluster.retired
+        assert any(r.incarnation == 1 for r in racks)
+        for rack in racks:
+            snap = rack.system.snapshot()
+            want = {
+                "io_rounds": snap.io_rounds,
+                "io_time": snap.io_time,
+                "words": snap.total_communication,
+                "pim_time": snap.pim_time,
+                "cpu_work": snap.cpu_work,
+            }
+            got = root_metric_sums(rack.tracer.spans)
+            assert got == want, f"span sums diverge on {rack!r}"
+            # every span carries the rack's identity tags
+            for span in rack.tracer.spans:
+                assert span.args["shard"] == rack.shard
+                assert span.args["replica"] == rack.slot
+                assert span.args["incarnation"] == rack.incarnation
+        rebuilt = [r for r in racks if r.incarnation == 1]
+        assert any(
+            s.name == "rack.rebuild" and s.cat == "recovery"
+            for r in rebuilt
+            for s in r.tracer.spans
+        )
+
+    def test_cluster_delta_merges_rack_deltas(self):
+        reset_id_counters()
+        cluster = PIMCluster(
+            HashSharding(2), replication=1, modules_per_rack=2,
+            root_seed=5,
+        )
+        import random
+
+        rng = random.Random(3)
+        keys = [harness._rand_key(rng) for _ in range(12)]
+        mark = cluster.mark()
+        cluster.insert_batch(keys, [str(k) for k in keys])
+        merged = cluster.delta(mark)
+        per_rack = cluster.delta_by_rack(mark)
+        assert merged == MetricsSnapshot.merge(
+            *(per_rack[u] for u in sorted(per_rack))
+        )
+        assert merged.io_rounds == sum(
+            d.io_rounds for d in per_rack.values()
+        )
+        assert len(merged.per_module_traffic) == 2 * 2  # racks x modules
+        assert sum(cluster.shard_traffic(mark)) == (
+            merged.total_communication
+        )

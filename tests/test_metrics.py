@@ -147,3 +147,82 @@ class TestSnapshot:
         )
         assert again == snap
         assert again.delta(snap).io_rounds == 0
+
+
+class TestMerge:
+    """``MetricsSnapshot.merge``: the cluster-wide aggregation used by
+    ``repro.cluster`` (scalars sum, per-module tuples concatenate)."""
+
+    def snap(self, modules=2, **kw):
+        base = dict(
+            io_rounds=0, io_time=0, total_communication=0, pim_time=0,
+            pim_work=0, cpu_work=0,
+            per_module_traffic=(0,) * modules,
+            per_module_work=(0,) * modules,
+        )
+        base.update(kw)
+        return MetricsSnapshot(**base)
+
+    def test_scalars_sum_and_modules_concatenate(self):
+        a = self.snap(io_rounds=3, io_time=9, total_communication=10,
+                      pim_time=5, pim_work=7, cpu_work=2,
+                      per_module_traffic=(6, 4), per_module_work=(3, 4))
+        b = self.snap(modules=3, io_rounds=1, io_time=2,
+                      total_communication=6, pim_time=1, pim_work=2,
+                      cpu_work=8, per_module_traffic=(2, 2, 2),
+                      per_module_work=(1, 0, 1))
+        m = MetricsSnapshot.merge(a, b)
+        assert m.io_rounds == 4
+        assert m.io_time == 11
+        assert m.total_communication == 16
+        assert m.pim_time == 6
+        assert m.pim_work == 9
+        assert m.cpu_work == 10
+        # argument order is preserved in the concatenation
+        assert m.per_module_traffic == (6, 4, 2, 2, 2)
+        assert m.per_module_work == (3, 4, 1, 0, 1)
+
+    def test_single_snapshot_is_identity(self):
+        a = self.snap(io_rounds=5, per_module_traffic=(9, 1),
+                      per_module_work=(2, 2))
+        assert MetricsSnapshot.merge(a) == a
+
+    def test_empty_merge_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsSnapshot.merge()
+
+    def test_malformed_snapshot_rejected(self):
+        # a snapshot whose own traffic/work tuples disagree in length
+        # would corrupt every later module index in the concatenation
+        bad = MetricsSnapshot(
+            io_rounds=0, io_time=0, total_communication=0, pim_time=0,
+            pim_work=0, cpu_work=0, per_module_traffic=(1, 2),
+            per_module_work=(1, 2, 3),
+        )
+        with pytest.raises(ValueError, match="malformed"):
+            MetricsSnapshot.merge(self.snap(), bad)
+
+    def test_merge_commutes_with_delta(self):
+        # per-rack deltas merged == merged cumulatives delta'd: the
+        # identity PIMCluster.delta() relies on
+        a0 = self.snap(io_rounds=1, total_communication=4, cpu_work=1,
+                       per_module_traffic=(2, 2), per_module_work=(1, 0))
+        a1 = self.snap(io_rounds=4, total_communication=9, cpu_work=3,
+                       per_module_traffic=(5, 4), per_module_work=(2, 2))
+        b0 = self.snap(modules=3, io_rounds=2, total_communication=3,
+                       per_module_traffic=(1, 1, 1),
+                       per_module_work=(0, 1, 0))
+        b1 = self.snap(modules=3, io_rounds=6, total_communication=8,
+                       per_module_traffic=(4, 2, 2),
+                       per_module_work=(1, 2, 1))
+        assert MetricsSnapshot.merge(a1, b1).delta(
+            MetricsSnapshot.merge(a0, b0)
+        ) == MetricsSnapshot.merge(a1.delta(a0), b1.delta(b0))
+
+    def test_delta_between_different_merge_shapes_raises(self):
+        # merging different rack sets produces different module counts;
+        # delta must refuse rather than zip-truncate
+        two = MetricsSnapshot.merge(self.snap(), self.snap())
+        three = MetricsSnapshot.merge(self.snap(), self.snap(), self.snap())
+        with pytest.raises(ValueError, match="module counts differ"):
+            three.delta(two)

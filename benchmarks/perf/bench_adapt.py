@@ -1,0 +1,57 @@
+"""Adaptive-skew benchmark entry point (CI can run this with ``--smoke``).
+
+Runs each time-varying skew pattern (drifting Zipf, moving flash
+crowd, diurnal mix) through the serve layer twice — adaptive
+controller on vs static layout — and writes ``BENCH_adapt.json``:
+rounds/op and simulated latency percentiles per side, answer-digest
+parity between the runs, and a dict-oracle check on every reply.  All
+logic lives in :mod:`repro.adapt.bench`:
+
+    PYTHONPATH=src python benchmarks/perf/bench_adapt.py [--smoke]
+
+The exit code enforces the correctness gates always (digest parity +
+oracle match) and the performance headline (adaptive beats static on
+p99 or rounds/op under >= 2 patterns) on the full profile; the smoke
+profile is too small to amortize maintenance, so CI checks only
+correctness there.
+
+Not a pytest module: it defines no test functions and only runs under
+``__main__``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def main(argv: list[str] | None = None) -> int:
+    from repro.adapt.bench import run_bench_adapt
+
+    parser = argparse.ArgumentParser(
+        prog="bench_adapt",
+        description="Adaptive vs static layout under time-varying skew "
+        "(writes BENCH_adapt.json)",
+    )
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized subset (~seconds, correctness only)")
+    parser.add_argument("--out", default="BENCH_adapt.json",
+                        help="output JSON path (default: %(default)s)")
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args(argv)
+    report = run_bench_adapt(out=args.out, smoke=args.smoke, seed=args.seed)
+    h = report["headline"]
+    ok = h["all_digests_match"] and h["all_oracle_match"]
+    if not args.smoke:
+        ok = ok and h["adaptive_beats_static"]
+    print(
+        f"digests_match={h['all_digests_match']} "
+        f"oracle_match={h['all_oracle_match']} "
+        f"patterns_won={h['patterns_won']}/3 "
+        f"p99_speedups={h['p99_speedups']}"
+    )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

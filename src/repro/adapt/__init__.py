@@ -1,0 +1,19 @@
+"""repro.adapt — sketch-guided adaptive skew defense.
+
+The paper's PIM-trie is skew-*resistant* (worst-case guarantees against
+a static adversary); this layer makes the stack skew-*aware*: a decayed
+Count-Min prefix-frequency sketch (:mod:`.sketch`) fed per epoch by the
+serve layer, and a controller (:mod:`.controller`) that splits,
+replicates, and merges blocks online as the hot set drifts.  See
+``docs/ARCHITECTURE.md`` and DESIGN §13.
+"""
+
+from .controller import AdaptiveController, AdaptPolicy, ClusterAdaptiveController
+from .sketch import CountMinSketch
+
+__all__ = [
+    "AdaptPolicy",
+    "AdaptiveController",
+    "ClusterAdaptiveController",
+    "CountMinSketch",
+]

@@ -257,6 +257,38 @@ def cmd_cluster(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def cmd_adapt(args: argparse.Namespace) -> int:
+    from .adapt.bench import run_bench_adapt
+
+    report = run_bench_adapt(out=args.out, smoke=args.smoke, seed=args.seed)
+    head = report["headline"]
+    print(f"adapt — sketch-guided hot-block split/replicate vs static "
+          f"layout ({report['profile']} profile)\n")
+    print(f"{'pattern':<15} {'side':<9} {'r/op':>7} {'w/op':>8} "
+          f"{'p50':>9} {'p99':>10} {'actions':>30}")
+    for row in report["patterns"]:
+        acts = row["adapt_actions"]
+        act_s = (f"s{acts['split']} r{acts['replicate']} "
+                 f"d{acts['dereplicate']} m{acts['merge']}")
+        for side, label in (("adaptive", act_s), ("static", "-")):
+            s = row[side]
+            print(f"{row['pattern']:<15} {side:<9} "
+                  f"{s['rounds_per_op']:>7.3f} {s['words_per_op']:>8.2f} "
+                  f"{s['latency']['p50']:>9.2f} {s['latency']['p99']:>10.2f} "
+                  f"{label:>30}")
+    print(f"\nheadline: digests adaptive==static: "
+          f"{head['all_digests_match']}; all answers == dict oracle: "
+          f"{head['all_oracle_match']}; adaptive wins (p99 or rounds/op) "
+          f"on {head['patterns_won']}/{len(report['patterns'])} patterns; "
+          f"p99 speedups {head['p99_speedups']}")
+    if args.out:
+        print(f"wrote {args.out}")
+    ok = head["all_digests_match"] and head["all_oracle_match"]
+    if report["profile"] == "full":
+        ok = ok and head["adaptive_beats_static"]
+    return 0 if ok else 1
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     import json
 
@@ -423,6 +455,17 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--smoke", action="store_true",
                    help="small deterministic run (fixed shapes)")
     p.add_argument("--out", default="BENCH_cluster.json")
+    p.add_argument("--seed", type=int, default=7)
+    p = sub.add_parser(
+        "adapt",
+        help="sketch-guided adaptive skew defense (E18): hot-block "
+             "split/replicate vs static layout under time-varying skew "
+             "(writes BENCH_adapt.json)",
+    )
+    p.set_defaults(fn=cmd_adapt)
+    p.add_argument("--smoke", action="store_true",
+                   help="small deterministic run (correctness gates only)")
+    p.add_argument("--out", default="BENCH_adapt.json")
     p.add_argument("--seed", type=int, default=7)
     p = sub.add_parser(
         "trace",

@@ -57,6 +57,7 @@ class ClusterService:
         round_time: float = 1.0,
         word_time: float = 0.001,
         plan: Optional[RackLossPlan] = None,
+        adapt: Optional[Any] = None,
     ):
         if round_time < 0 or word_time < 0:
             raise ValueError("service-model coefficients must be >= 0")
@@ -65,6 +66,9 @@ class ClusterService:
         self.round_time = round_time
         self.word_time = word_time
         self.plan = plan if plan is not None else RackLossPlan.empty()
+        #: optional repro.adapt ClusterAdaptiveController stepped once
+        #: per epoch (per-rack sketches; see adapt.controller)
+        self.adapt = adapt
 
     # ------------------------------------------------------------------
     def _rack_service(self, delta: MetricsSnapshot) -> float:
@@ -183,6 +187,10 @@ class ClusterService:
                 pending, set(range(cluster.num_shards)), causes
             )
             losses_fired += len(causes)
+            if self.adapt is not None:
+                # per-rack adaptive maintenance inside the epoch's
+                # metrics window — billed to the racks it rebalances
+                self.adapt.step()
 
             wall = _time.perf_counter() - t0
             deltas = cluster.delta_by_rack(mark)
@@ -257,5 +265,10 @@ class ClusterService:
                 "shards": cluster.num_shards,
                 "replication": cluster.replication,
                 "modules_per_rack": cluster.modules_per_rack,
+                **(
+                    {"adapt": self.adapt.summary()}
+                    if self.adapt is not None
+                    else {}
+                ),
             },
         )

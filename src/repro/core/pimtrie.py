@@ -291,6 +291,17 @@ class PIMTrie:
         #: write-through by every mutating path so a crashed module's
         #: shards can be rebuilt without its memory (repro.faults)
         self._block_items: dict[int, dict[BitString, Any]] = {}
+        #: extra read copies per block (repro.adapt): block id -> list
+        #: of modules holding an identical copy, primary excluded.
+        #: Reads round-robin over {primary} + replicas; writes fan out
+        #: to every copy so the copies never diverge.
+        self.block_replicas: dict[int, list[int]] = {}
+        #: round-robin read cursor per replicated block
+        self._block_rr: dict[int, int] = {}
+        #: host-side per-block access counters since the last
+        #: :meth:`take_block_touches` drain (pure bookkeeping — no
+        #: rounds, no metric effect; feeds the repro.adapt sketch)
+        self.block_touches: dict[int, int] = {}
 
         self.piece_module: dict[int, int] = {}
         self.piece_parent: dict[int, Optional[int]] = {}
@@ -1278,7 +1289,7 @@ class PIMTrie:
         if pushes:
             sends: dict[int, list] = defaultdict(list)
             for frag, rec in pushes:
-                m = self.block_module[rec.block_id]
+                m = self._read_module(rec.block_id)
                 sends[m].append(_BlockOp("match", rec.block_id, frag=frag))
             replies = self.system.round("pimtrie.block", sends)
             for reply in replies.values():
@@ -1287,7 +1298,7 @@ class PIMTrie:
             sends = defaultdict(list)
             order: dict[int, list[tuple[QueryFragment, MetaRecord]]] = defaultdict(list)
             for frag, rec in pulls:
-                m = self.block_module[rec.block_id]
+                m = self._read_module(rec.block_id)
                 sends[m].append(_BlockOp("fetch", rec.block_id))
                 order[m].append((frag, rec))
             replies = self.system.round("pimtrie.block", sends)
@@ -1384,6 +1395,44 @@ class PIMTrie:
                     )
         return out
 
+    # ==================================================================
+    # adaptive-skew support (repro.adapt): read routing + touch stats
+    # ==================================================================
+    def _read_module(self, bid: int) -> int:
+        """The module to read block ``bid`` from.
+
+        Unreplicated blocks (the common case) read from their primary —
+        one dict probe, no RNG, byte-identical to the pre-replication
+        behaviour.  Replicated blocks round-robin over ``{primary} +
+        replicas`` with a deterministic per-block cursor, spreading hot
+        read traffic across copies (writes always reach every copy, so
+        any copy answers correctly).
+        """
+        reps = self.block_replicas.get(bid)
+        primary = self.block_module[bid]
+        if not reps:
+            return primary
+        ring = [primary, *reps]
+        i = self._block_rr.get(bid, 0)
+        self._block_rr[bid] = (i + 1) % len(ring)
+        return ring[i % len(ring)]
+
+    def _note_touches(self, folded: dict) -> None:
+        """Count one access per distinct batch key against its owning
+        block.  Host-side control-plane bookkeeping: no rounds, no
+        ticks — feeding the adapt layer's sketch never perturbs the
+        PIM Model metrics."""
+        t = self.block_touches
+        for _depth, block, _exact, _value in folded.values():
+            t[block] = t.get(block, 0) + 1
+
+    def take_block_touches(self) -> dict[int, int]:
+        """Drain the per-block access counters (serve calls this once
+        per epoch to feed the frequency sketch)."""
+        out = self.block_touches
+        self.block_touches = {}
+        return out
+
     def _base_owners(self, keys: Iterable[BitString]) -> dict[BitString, int]:
         """Which of ``keys`` equal a block base, mapped to that block.
 
@@ -1410,6 +1459,7 @@ class PIMTrie:
         outcome = self.match_batch(qt)
         with maybe_span(self.system, "query.fold", cat="phase"):
             folded = self._fold_keys(qt, outcome)
+        self._note_touches(folded)
         return [folded[k][0] for k in keys]
 
     @_traced_op("op.lookup")
@@ -1423,6 +1473,7 @@ class PIMTrie:
         outcome = self.match_batch(qt)
         with maybe_span(self.system, "query.fold", cat="phase"):
             folded = self._fold_keys(qt, outcome)
+        self._note_touches(folded)
         return [folded[k][3] if folded[k][2] else None for k in keys]
 
     # ------------------------------------------------------------------
@@ -1470,12 +1521,16 @@ class PIMTrie:
                 by_block[block].append((rel, value))
                 if not exact:
                     new_keys += 1
+        self._note_touches(folded)
         with maybe_span(self.system, "insert.apply", cat="phase"):
             sends: dict[int, list] = defaultdict(list)
             for block, items in by_block.items():
-                sends[self.block_module[block]].append(
-                    _BlockOp("insert", block, payload=items)
-                )
+                op = _BlockOp("insert", block, payload=items)
+                # writes fan out to every copy, so replicas never
+                # diverge from the primary (repro.adapt)
+                sends[self.block_module[block]].append(op)
+                for rm in self.block_replicas.get(block, ()):
+                    sends[rm].append(op)
             oversized: list[int] = []
             if sends:
                 replies = self.system.round("pimtrie.block", sends)
@@ -1490,7 +1545,10 @@ class PIMTrie:
                 for reply in replies.values():
                     for (bid, nkeys, words) in reply:
                         self.block_keys[bid] = nkeys
-                        if words > 2 * self.config.block_bound:
+                        if (
+                            words > 2 * self.config.block_bound
+                            and bid not in oversized
+                        ):
                             oversized.append(bid)
         if oversized:
             self._repartition_blocks(oversized)
@@ -1498,9 +1556,20 @@ class PIMTrie:
 
     # ------------------------------------------------------------------
     @_structural
-    def _repartition_blocks(self, block_ids: list[int]) -> None:
+    def _repartition_blocks(
+        self, block_ids: list[int], *, bound: Optional[int] = None
+    ) -> None:
         """Pull oversized blocks, re-run the §4.2 blocking algorithm on
-        each, ship the resulting blocks, update mirrors and the HVM."""
+        each, ship the resulting blocks, update mirrors and the HVM.
+
+        ``bound`` overrides the configured block bound — the adapt
+        layer's :meth:`split_block` passes a finer bound to fracture a
+        hot block across fresh modules.
+        """
+        bound = self.config.block_bound if bound is None else bound
+        # a re-partitioned block's copies would go stale: retire them
+        # first (they are re-created on demand if the block stays hot)
+        self._drop_replicas(block_ids)
         sends: dict[int, list] = defaultdict(list)
         for bid in block_ids:
             sends[self.block_module[bid]].append(_BlockOp("fetch", bid))
@@ -1516,7 +1585,7 @@ class PIMTrie:
             old_id = blk.block_id
             base_string = self._root_strings[old_id]
             subs, sub_strings = extract_blocks(
-                blk.trie, self.config.block_bound, self.hasher, self.w
+                blk.trie, bound, self.hasher, self.w
             )
             top = next(s for s in subs if s.parent_id is None)
             remap = {top.block_id: old_id}
@@ -1582,15 +1651,166 @@ class PIMTrie:
                         updated_records.append(
                             replace(self._records[mid], parent_block=sub.block_id)
                         )
-                        ship[self.block_module[mid]].append(
-                            _BlockOp("set_parent", mid, payload=sub.block_id)
-                        )
+                        sp = _BlockOp("set_parent", mid, payload=sub.block_id)
+                        ship[self.block_module[mid]].append(sp)
+                        for rm in self.block_replicas.get(mid, ()):
+                            ship[rm].append(sp)
         if ship:
             self.system.round("pimtrie.block", ship)
         if updated_records:
             self._hvm_update_records(updated_records)
         if new_records:
             self._hvm_add_records(new_records)
+
+    # ==================================================================
+    # adaptive-skew maintenance ops (repro.adapt): split / replicate /
+    # merge.  All keep the replica-log and span-sum invariants exact:
+    # every word moved is moved inside an accounted round, and the
+    # replica-log union over blocks never changes (only placement does),
+    # so answers are invariant under any interleaving of these ops.
+    # ==================================================================
+    def _drop_replicas(self, block_ids: Iterable[int]) -> int:
+        """Free every extra copy of ``block_ids`` (one round if any);
+        primaries are untouched.  Returns the number of copies freed."""
+        sends: dict[int, list] = defaultdict(list)
+        dropped = 0
+        for bid in block_ids:
+            reps = self.block_replicas.pop(bid, None)
+            self._block_rr.pop(bid, None)
+            if not reps:
+                continue
+            for m in reps:
+                sends[m].append(_BlockOp("free", bid))
+                dropped += 1
+        if sends:
+            self.system.round("pimtrie.block", sends)
+        return dropped
+
+    @_structural
+    def dereplicate_block(self, bid: int) -> int:
+        """Drop all read replicas of ``bid`` (cold-block decay path)."""
+        return self._drop_replicas([bid])
+
+    @_structural
+    def replicate_block(
+        self, bid: int, module: Optional[int] = None
+    ) -> Optional[int]:
+        """Place one extra read copy of block ``bid`` on ``module`` (a
+        uniformly random module holding no copy, if None).
+
+        Reads round-robin over the copies afterwards (:meth:`_read_module`);
+        writes fan out to every copy, so each stays exact.  The copy is
+        shipped as a *fresh* host-side reconstruction — never the fetched
+        object itself, which would alias two module memories.  Returns
+        the chosen module, or None if no module is free to take a copy.
+        """
+        if bid not in self.block_module:
+            return None
+        have = {self.block_module[bid], *self.block_replicas.get(bid, ())}
+        if module is None:
+            candidates = [
+                m for m in range(self.system.num_modules) if m not in have
+            ]
+            if not candidates:
+                return None
+            module = candidates[int(self.system.rng.integers(len(candidates)))]
+        elif module in have:
+            return None
+        # accounted read of the source copy...
+        self.system.round(
+            "pimtrie.block", {self._read_module(bid): [_BlockOp("fetch", bid)]}
+        )
+        # ...then build + ship an independent copy
+        fresh = self._reconstruct_block(bid)
+        self.system.tick_cpu(fresh.word_cost())
+        self.system.round(
+            "pimtrie.block", {module: [_BlockOp("store", bid, payload=fresh)]}
+        )
+        self.block_replicas.setdefault(bid, []).append(module)
+        return module
+
+    @_structural
+    def split_block(self, bid: int, *, bound: Optional[int] = None) -> int:
+        """Fracture a hot block across fresh modules by re-running the
+        §4.2 blocking algorithm on it with a finer word bound (default:
+        a quarter of the configured bound).  Returns the number of new
+        blocks created (0 if the block already fits the finer bound)."""
+        if bid not in self.block_module:
+            return 0
+        if bound is None:
+            bound = max(8, self.config.block_bound // 4)
+        before = len(self.block_module)
+        self._repartition_blocks([bid], bound=bound)
+        return len(self.block_module) - before
+
+    @_structural
+    def merge_block(self, bid: int) -> int:
+        """Fold block ``bid``'s direct children back into it (the cold
+        inverse of :meth:`split_block`).  Grandchildren become ``bid``'s
+        children.  Returns the number of children absorbed.
+
+        The merged block is rebuilt host-side from the replica log (its
+        union equals the physical contents at every round boundary) and
+        shipped whole; the fetch round charges the read of every merged
+        word first, so metrics stay honest.
+        """
+        children = sorted(self.block_children.get(bid, ()))
+        if not children:
+            return 0
+        # stale copies of everything being restructured go first
+        self._drop_replicas([bid, *children])
+        sends: dict[int, list] = defaultdict(list)
+        for b in (bid, *children):
+            sends[self.block_module[b]].append(_BlockOp("fetch", b))
+        self.system.round("pimtrie.block", sends)
+
+        base = self._root_strings[bid]
+        merged = dict(self._block_items.get(bid, ()))
+        grandkids: set[int] = set()
+        frees: dict[int, list] = defaultdict(list)
+        for c in children:
+            rel_c = self._root_strings[c].suffix_from(len(base))
+            for rel, v in self._block_items.get(c, {}).items():
+                merged[rel_c + rel] = v
+            grandkids.update(self.block_children.get(c, ()))
+            frees[self.block_module[c]].append(_BlockOp("free", c))
+        for c in children:
+            self.block_parent.pop(c, None)
+            self.block_children.pop(c, None)
+            self.block_keys.pop(c, None)
+            self.block_depth.pop(c, None)
+            self.block_module.pop(c, None)
+            self._root_strings.pop(c, None)
+            self._block_items.pop(c, None)
+            self.block_touches.pop(c, None)
+        self.block_children[bid] = set(grandkids)
+        for g in grandkids:
+            self.block_parent[g] = bid
+        self._block_items[bid] = merged
+
+        new_blk = self._reconstruct_block(bid)
+        self.system.tick_cpu(new_blk.word_cost())
+        ship: dict[int, list] = defaultdict(list)
+        ship[self.block_module[bid]].append(
+            _BlockOp("store", bid, payload=new_blk)
+        )
+        for m, ops in frees.items():
+            ship[m].extend(ops)
+        for g in sorted(grandkids):
+            sp = _BlockOp("set_parent", g, payload=bid)
+            ship[self.block_module[g]].append(sp)
+            for rm in self.block_replicas.get(g, ()):
+                ship[rm].append(sp)
+        self.system.round("pimtrie.block", ship)
+        if grandkids:
+            self._hvm_update_records(
+                [
+                    replace(self._records[g], parent_block=bid)
+                    for g in sorted(grandkids)
+                ]
+            )
+        self._hvm_remove_records(children)
+        return len(children)
 
     # ------------------------------------------------------------------
     @_traced_op("op.delete")
@@ -1619,12 +1839,15 @@ class PIMTrie:
             if not exact:
                 continue
             by_block[block].append(key.suffix_from(self.block_depth[block]))
+        self._note_touches(folded)
         with maybe_span(self.system, "delete.apply", cat="phase"):
             sends: dict[int, list] = defaultdict(list)
             for block, items in by_block.items():
-                sends[self.block_module[block]].append(
-                    _BlockOp("delete", block, payload=items)
-                )
+                op = _BlockOp("delete", block, payload=items)
+                # writes fan out to every copy (see insert_batch)
+                sends[self.block_module[block]].append(op)
+                for rm in self.block_replicas.get(block, ()):
+                    sends[rm].append(op)
             removed_total = 0
             if sends:
                 replies = self.system.round("pimtrie.block", sends)
@@ -1634,10 +1857,13 @@ class PIMTrie:
                     if log is not None:
                         for rel in items:
                             log.pop(rel, None)
-                for reply in replies.values():
+                for m, reply in replies.items():
                     for (bid, nkeys, _words, removed) in reply:
                         self.block_keys[bid] = nkeys
-                        removed_total += removed
+                        # replica copies report the same removals; count
+                        # only the primary's reply
+                        if m == self.block_module[bid]:
+                            removed_total += removed
         if removed_total:
             self._collect_empty_blocks()
         return removed_total
@@ -1666,10 +1892,15 @@ class PIMTrie:
         for bid in doomed:
             parent = self.block_parent[bid]
             if parent not in doomed_set:
-                sends[self.block_module[parent]].append(
-                    _BlockOp("drop_mirror", parent, payload=bid)
-                )
+                # the mirror drop is a write: it must reach every copy
+                # of the parent block
+                dm = _BlockOp("drop_mirror", parent, payload=bid)
+                sends[self.block_module[parent]].append(dm)
+                for rm in self.block_replicas.get(parent, ()):
+                    sends[rm].append(dm)
             sends[self.block_module[bid]].append(_BlockOp("free", bid))
+            for rm in self.block_replicas.get(bid, ()):
+                sends[rm].append(_BlockOp("free", bid))
         self.system.round("pimtrie.block", sends)
         for bid in doomed:
             parent = self.block_parent.pop(bid, None)
@@ -1681,6 +1912,9 @@ class PIMTrie:
             self.block_module.pop(bid, None)
             self._root_strings.pop(bid, None)
             self._block_items.pop(bid, None)
+            self.block_replicas.pop(bid, None)
+            self._block_rr.pop(bid, None)
+            self.block_touches.pop(bid, None)
         self._hvm_remove_records(doomed)
 
     # ------------------------------------------------------------------
@@ -1699,6 +1933,7 @@ class PIMTrie:
         outcome = self.match_batch(qt)
         with maybe_span(self.system, "query.fold", cat="phase"):
             folded = self._fold_keys(qt, outcome)
+        self._note_touches(folded)
 
         results: dict[BitString, list[tuple[BitString, Any]]] = {
             p: [] for p in prefixes
@@ -1710,10 +1945,9 @@ class PIMTrie:
             if depth < len(p):
                 continue
             rel = p.suffix_from(self.block_depth[block])
-            sends[self.block_module[block]].append(
-                _BlockOp("subtree", block, payload=rel)
-            )
-            order[self.block_module[block]].append(p)
+            m = self._read_module(block)
+            sends[m].append(_BlockOp("subtree", block, payload=rel))
+            order[m].append(p)
         frontier: list[tuple[BitString, int]] = []
         if sends:
             with maybe_span(self.system, "subtree.roots", cat="phase"):
@@ -1773,7 +2007,7 @@ class PIMTrie:
                 if (p, bid) in seen_fetch or bid not in self.block_module:
                     continue
                 seen_fetch.add((p, bid))
-                m = self.block_module[bid]
+                m = self._read_module(bid)
                 sends3[m].append(
                     _BlockOp("subtree", bid, payload=BitString(0, 0))
                 )
@@ -1866,6 +2100,10 @@ class PIMTrie:
         for bid, m in sorted(self.block_module.items()):
             if m in modset:
                 sends[m].append(_StoreBlock(self._reconstruct_block(bid)))
+        for bid, reps in sorted(self.block_replicas.items()):
+            for m in reps:
+                if m in modset:
+                    sends[m].append(_StoreBlock(self._reconstruct_block(bid)))
         for pid, m in sorted(self.piece_module.items()):
             if m in modset:
                 sends[m].append(_StorePiece(self._reconstruct_piece(pid)))
@@ -1920,6 +2158,9 @@ class PIMTrie:
         self.block_children.clear()
         self.block_keys.clear()
         self.block_depth.clear()
+        self.block_replicas.clear()
+        self._block_rr.clear()
+        self.block_touches.clear()
         self._records.clear()
         self._root_strings.clear()
         self._block_items.clear()
@@ -1951,24 +2192,54 @@ class PIMTrie:
         and the configured size bounds.
         """
         cfg = self.config
-        # gather the physical blocks and pieces
-        phys_blocks: dict[int, DataBlock] = {}
+        # gather every physical copy of every block, plus the pieces
+        phys_copies: dict[int, dict[int, DataBlock]] = defaultdict(dict)
         phys_pieces: dict[int, MetaPiece] = {}
-        owner_module: dict[int, int] = {}
         for m in range(self.system.num_modules):
             ctx = self.system.modules[m].context
             for bid, blk in ctx.scratch.get("blocks", {}).items():
-                assert bid not in phys_blocks, f"block {bid} stored twice"
-                phys_blocks[bid] = blk
-                owner_module[bid] = m
+                assert m not in phys_copies[bid], (
+                    f"block {bid} stored twice on module {m}"
+                )
+                phys_copies[bid][m] = blk
             for pid, piece in ctx.scratch.get("pieces", {}).items():
                 assert pid not in phys_pieces, f"piece {pid} stored twice"
                 phys_pieces[pid] = piece
 
-        # registries agree with physical placement
-        assert set(phys_blocks) == set(self.block_module)
+        # registries agree with physical placement: every block lives
+        # on exactly its primary plus its registered replicas
+        assert set(phys_copies) == set(self.block_module)
         for bid, m in self.block_module.items():
-            assert owner_module[bid] == m, f"block {bid} misplaced"
+            reps = self.block_replicas.get(bid, [])
+            assert len(set(reps)) == len(reps), f"block {bid} dup replica"
+            assert m not in reps, f"block {bid} replica on its primary"
+            expect = {m, *reps}
+            assert set(phys_copies[bid]) == expect, (
+                f"block {bid} copies {sorted(phys_copies[bid])} != "
+                f"registered {sorted(expect)}"
+            )
+        for bid in self.block_replicas:
+            assert bid in self.block_module, f"replicas of unknown {bid}"
+
+        # every replica copy is content-identical to its primary
+        phys_blocks: dict[int, DataBlock] = {}
+        for bid, copies in phys_copies.items():
+            pm = self.block_module[bid]
+            primary = copies[pm]
+            phys_blocks[bid] = primary
+            for m, blk in copies.items():
+                if m == pm:
+                    continue
+                # copies must be independent objects (aliasing two
+                # module memories would let one write update both for
+                # free) and content-identical to the primary
+                assert blk is not primary, f"block {bid} aliased on {m}"
+                assert dict(blk.trie.iter_items()) == dict(
+                    primary.trie.iter_items()
+                ), f"replica of {bid} on {m} diverges"
+                assert sorted(blk.child_ids()) == sorted(primary.child_ids())
+                assert blk.root_depth == primary.root_depth
+                assert blk.trie.num_keys == primary.trie.num_keys
 
         # block metadata and tree structure
         for bid, blk in phys_blocks.items():
@@ -2031,14 +2302,15 @@ class PIMTrie:
         assert sizes.pop() == len(self.master_pieces)
 
     def keys(self) -> list[BitString]:
-        """All stored keys (debugging facility; walks module memories)."""
+        """All stored keys (debugging facility; walks module memories).
+        Reads each block's primary copy only, so replicated blocks are
+        not double-counted."""
         out: list[BitString] = []
-        for m in range(self.system.num_modules):
-            ctx = self.system.modules[m].context
-            for bid, blk in ctx.scratch.get("blocks", {}).items():
-                root = self._root_strings[bid]
-                for rel, _v in blk.trie.iter_items():
-                    out.append(root + rel)
+        for bid, m in self.block_module.items():
+            blk = self.system.modules[m].context.scratch["blocks"][bid]
+            root = self._root_strings[bid]
+            for rel, _v in blk.trie.iter_items():
+                out.append(root + rel)
         return sorted(out)
 
     def num_keys(self) -> int:

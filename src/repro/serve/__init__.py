@@ -24,7 +24,7 @@ from .slo import (
     latency_stats,
     percentile,
 )
-from .trace import Operation, Trace, make_trace
+from .trace import Operation, Trace, make_trace, trace_from_stream
 
 __all__ = [
     "ContinuousBatchingScheduler",
@@ -41,4 +41,5 @@ __all__ = [
     "Operation",
     "Trace",
     "make_trace",
+    "trace_from_stream",
 ]

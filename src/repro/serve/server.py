@@ -107,6 +107,7 @@ class EpochServer:
         word_time: float = 0.001,
         max_retries: int = 4,
         retry_backoff: float = 0.5,
+        adapt: Optional[Any] = None,
     ):
         if round_time < 0 or word_time < 0:
             raise ValueError("service-model coefficients must be >= 0")
@@ -119,6 +120,11 @@ class EpochServer:
         self.word_time = word_time
         self.max_retries = max_retries
         self.retry_backoff = retry_backoff
+        #: optional repro.adapt AdaptiveController stepped once per
+        #: epoch (after the segments run, inside the epoch's metrics
+        #: window, so maintenance rounds are billed to the epoch that
+        #: triggered them)
+        self.adapt = adapt
 
     # ------------------------------------------------------------------
     def service_time(self, delta: MetricsSnapshot) -> float:
@@ -253,6 +259,16 @@ class EpochServer:
                 for kind, seg in segments(batch):
                     kinds.append(kind)
                     replies.extend(self._run_segment(kind, seg, ep))
+                if self.adapt is not None:
+                    # adaptive maintenance rides the epoch it reacts to:
+                    # its rounds land in this delta and service time.  An
+                    # abort mid-maintenance heals like any other fault —
+                    # answers are placement-invariant either way.
+                    try:
+                        self.adapt.step()
+                    except RoundAborted as e:
+                        ep["causes"].append(e.cause)
+                        ep["recovery_rounds"] += recover(self.trie)
             finally:
                 if ep_span is not None:
                     obs.end(ep_span)
@@ -321,6 +337,11 @@ class EpochServer:
             max_batch=policy.max_batch,
             failed=failed_total,
             faults=fault_stats,
+            extra=(
+                {"adapt": self.adapt.summary()}
+                if self.adapt is not None
+                else {}
+            ),
         )
 
 

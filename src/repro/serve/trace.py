@@ -22,7 +22,7 @@ import numpy as np
 from ..bits import BitString
 from ..workloads import OP_KINDS, operation_stream
 
-__all__ = ["Operation", "Trace", "make_trace"]
+__all__ = ["Operation", "Trace", "make_trace", "trace_from_stream"]
 
 
 @dataclass(frozen=True)
@@ -128,3 +128,30 @@ def make_trace(
         name=name or f"{arrival}-{skew}-r{rate:g}-s{seed}",
         params=params,
     )
+
+
+def trace_from_stream(
+    timed: Sequence,
+    *,
+    num_clients: int = 16,
+    seed: int = 0,
+    name: str = "stream",
+    params: Optional[dict] = None,
+) -> Trace:
+    """Wrap an already-generated :class:`~repro.workloads.TimedOp`
+    stream (e.g. the time-varying skew generators
+    ``drifting_zipf_stream`` / ``flash_crowd_stream`` /
+    ``diurnal_stream``) as a :class:`Trace`, assigning client ids with
+    the same seeded idiom as :func:`make_trace`."""
+    if num_clients < 1:
+        raise ValueError("need at least one client")
+    rng = np.random.default_rng(seed + 0x5EEDC)
+    clients = rng.integers(num_clients, size=len(timed))
+    ops = [
+        Operation(
+            seq=i, client_id=int(clients[i]), time=t.time,
+            kind=t.kind, key=t.key, value=t.value,
+        )
+        for i, t in enumerate(timed)
+    ]
+    return Trace(ops, name=name, params=dict(params or {}))

@@ -3,6 +3,9 @@
 from .generators import (
     OP_KINDS,
     TimedOp,
+    diurnal_stream,
+    drifting_zipf_stream,
+    flash_crowd_stream,
     ip_prefixes,
     operation_stream,
     shared_prefix_flood,
@@ -16,6 +19,9 @@ from .generators import (
 __all__ = [
     "OP_KINDS",
     "TimedOp",
+    "diurnal_stream",
+    "drifting_zipf_stream",
+    "flash_crowd_stream",
     "ip_prefixes",
     "operation_stream",
     "shared_prefix_flood",

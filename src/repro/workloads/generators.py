@@ -32,6 +32,9 @@ __all__ = [
     "TimedOp",
     "OP_KINDS",
     "operation_stream",
+    "drifting_zipf_stream",
+    "flash_crowd_stream",
+    "diurnal_stream",
 ]
 
 
@@ -167,6 +170,8 @@ def operation_stream(
     skew: str = "uniform",
     subtree_prefix: int = 12,
     seed: int = 0,
+    keys: Optional[Sequence[BitString]] = None,
+    times: Optional[Sequence[float]] = None,
 ) -> list[TimedOp]:
     """``n`` timestamped mixed operations, deterministic under ``seed``.
 
@@ -190,6 +195,13 @@ def operation_stream(
 
     Returned times are strictly sorted cumulative sums.  Insert values
     are ``"v<i>"`` strings so replays can check which write won.
+
+    ``keys`` / ``times`` override the internal key and arrival-time
+    generation with explicit per-op sequences (at least ``n`` long) —
+    the hook the time-varying skew generators below use to drift the
+    key distribution or modulate the arrival rate while keeping the
+    kind chain and everything else identical.  Passing only ``keys``
+    leaves the main RNG's draw sequence unchanged.
     """
     if n <= 0:
         return []
@@ -208,7 +220,11 @@ def operation_stream(
     probs /= probs.sum()
 
     rng = np.random.default_rng(seed)
-    if skew == "uniform":
+    if keys is not None:
+        if len(keys) < n:
+            raise ValueError(f"need >= {n} explicit keys, got {len(keys)}")
+        keys = list(keys[:n])
+    elif skew == "uniform":
         keys = uniform_keys(n, length, seed=seed + 1)
     elif skew == "zipf":
         keys = zipf_prefix(n, length, seed=seed + 1)
@@ -217,25 +233,30 @@ def operation_stream(
     else:
         raise ValueError(f"unknown skew {skew!r}")
 
-    if arrival == "poisson":
-        gaps = rng.exponential(1.0 / rate, size=n)
-    elif arrival == "burst":
-        gaps = np.empty(n, dtype=np.float64)
-        i, in_burst = 0, True
-        while i < n:
-            if in_burst:
-                m = int(rng.integers(8, 33))
-                scale = 1.0 / (rate * burst_factor)
-            else:
-                m = int(rng.integers(16, 65))
-                scale = 1.0 / rate
-            m = min(m, n - i)
-            gaps[i : i + m] = rng.exponential(scale, size=m)
-            i += m
-            in_burst = not in_burst
+    if times is not None:
+        if len(times) < n:
+            raise ValueError(f"need >= {n} explicit times, got {len(times)}")
+        times = np.asarray(times[:n], dtype=np.float64)
     else:
-        raise ValueError(f"unknown arrival model {arrival!r}")
-    times = np.cumsum(gaps)
+        if arrival == "poisson":
+            gaps = rng.exponential(1.0 / rate, size=n)
+        elif arrival == "burst":
+            gaps = np.empty(n, dtype=np.float64)
+            i, in_burst = 0, True
+            while i < n:
+                if in_burst:
+                    m = int(rng.integers(8, 33))
+                    scale = 1.0 / (rate * burst_factor)
+                else:
+                    m = int(rng.integers(16, 65))
+                    scale = 1.0 / rate
+                m = min(m, n - i)
+                gaps[i : i + m] = rng.exponential(scale, size=m)
+                i += m
+                in_burst = not in_burst
+        else:
+            raise ValueError(f"unknown arrival model {arrival!r}")
+        times = np.cumsum(gaps)
 
     fresh = rng.choice(len(OP_KINDS), size=n, p=probs)
     stay = rng.random(n) < kind_corr
@@ -254,6 +275,126 @@ def operation_stream(
             key = key.prefix(min(subtree_prefix, len(key)))
         out.append(TimedOp(float(times[i]), kind, key, value))
     return out
+
+
+# ----------------------------------------------------------------------
+# time-varying skew (repro.adapt's benchmark adversaries)
+# ----------------------------------------------------------------------
+def drifting_zipf_stream(
+    n: int,
+    length: int = 64,
+    *,
+    num_phases: int = 4,
+    num_hot: int = 8,
+    theta: float = 1.2,
+    seed: int = 0,
+    **stream_kw: Any,
+) -> list[TimedOp]:
+    """Zipf hot-prefix traffic whose hot set *drifts*: the stream is cut
+    into ``num_phases`` equal phases, each drawing its keys from a fresh
+    Zipf(θ) choice over ``num_hot`` hot prefixes.  A static layout tuned
+    for phase 0 is wrong for every later phase — the adaptive
+    controller's bread-and-butter case.  Extra keyword arguments pass
+    through to :func:`operation_stream`."""
+    if n <= 0:
+        return []
+    num_phases = max(1, num_phases)
+    keys: list[BitString] = []
+    for p in range(num_phases):
+        m = (n // num_phases) + (1 if p < n % num_phases else 0)
+        keys.extend(
+            zipf_prefix(
+                m, length, num_hot=num_hot, theta=theta,
+                seed=seed + 1 + 101 * p,
+            )
+        )
+    return operation_stream(n, length, seed=seed, keys=keys, **stream_kw)
+
+
+def flash_crowd_stream(
+    n: int,
+    length: int = 64,
+    *,
+    num_crowds: int = 3,
+    crowd_fraction: float = 0.85,
+    prefix_len: Optional[int] = None,
+    seed: int = 0,
+    **stream_kw: Any,
+) -> list[TimedOp]:
+    """Flash crowds that *move*: ``num_crowds`` consecutive phases, each
+    sending ``crowd_fraction`` of its ops into one shared
+    ``prefix_len``-bit prefix (a different prefix per phase) over a
+    trickle of uniform background traffic.  The §3.2 single-range flood,
+    made time-varying: whichever block holds the crowd's range is
+    suddenly the whole workload — until the crowd moves."""
+    if n <= 0:
+        return []
+    if not 0.0 <= crowd_fraction <= 1.0:
+        raise ValueError("crowd_fraction must be in [0, 1]")
+    num_crowds = max(1, num_crowds)
+    if prefix_len is None:
+        prefix_len = min(length // 2, 64)
+    rng = np.random.default_rng(seed + 0xF1A5)
+    crowds = uniform_keys(num_crowds, prefix_len, seed=seed + 0xC0FFEE)
+    suffix = length - prefix_len
+    keys: list[BitString] = []
+    for p in range(num_crowds):
+        m = (n // num_crowds) + (1 if p < n % num_crowds else 0)
+        in_crowd = rng.random(m) < crowd_fraction
+        background = uniform_keys(m, length, seed=seed + 7 + 13 * p)
+        for i in range(m):
+            if in_crowd[i]:
+                v = int.from_bytes(rng.bytes((suffix + 7) // 8), "big")
+                keys.append(
+                    crowds[p] + BitString(v & ((1 << suffix) - 1), suffix)
+                )
+            else:
+                keys.append(background[i])
+    return operation_stream(n, length, seed=seed, keys=keys, **stream_kw)
+
+
+def diurnal_stream(
+    n: int,
+    length: int = 64,
+    *,
+    periods: float = 2.0,
+    rate: float = 2.0,
+    rate_swing: float = 0.75,
+    num_hot: int = 8,
+    theta: float = 1.2,
+    seed: int = 0,
+    **stream_kw: Any,
+) -> list[TimedOp]:
+    """Diurnal traffic: ``periods`` day/night cycles over the stream.
+    The arrival rate swings sinusoidally by ``±rate_swing`` around
+    ``rate``, and the key mix swings with it — "daytime" ops hit one
+    Zipf hot set, "nighttime" ops another, with the blend following the
+    same phase.  Both the load level and the hot set therefore migrate
+    smoothly and repeatedly."""
+    if n <= 0:
+        return []
+    if not 0.0 <= rate_swing < 1.0:
+        raise ValueError("rate_swing must be in [0, 1)")
+    rng = np.random.default_rng(seed + 0xD1A)
+    phase = 2.0 * np.pi * periods * np.arange(n) / max(1, n)
+    day = 0.5 * (1.0 + np.sin(phase))  # 0 = night, 1 = day
+    rates = rate * (1.0 + rate_swing * np.sin(phase))
+    gaps = rng.exponential(1.0, size=n) / rates
+    times = np.cumsum(gaps)
+    day_keys = zipf_prefix(
+        n, length, num_hot=num_hot, theta=theta, seed=seed + 11
+    )
+    night_keys = zipf_prefix(
+        n, length, num_hot=num_hot, theta=theta, seed=seed + 23
+    )
+    pick_day = rng.random(n) < day
+    keys = [
+        day_keys[i] if pick_day[i] else night_keys[i] for i in range(n)
+    ]
+    return operation_stream(
+        n, length, seed=seed, keys=keys, times=times, rate=rate,
+        **stream_kw,
+    )
 
 
 def text_keys(n: int, seed: int = 0, words: Optional[Sequence[str]] = None) -> list[BitString]:

@@ -1,0 +1,361 @@
+"""Adaptive skew defense tests (repro.adapt): maintenance ops are
+answer-preserving, the controller's actions are invisible to clients
+(differential adapt-on == adapt-off == dict oracle over adversarial
+sequences), adapt.* spans keep the span-sum invariant exact, recovery
+works under faults, and the cluster roll-up merges per-rack sketches.
+"""
+
+import pytest
+
+from repro import BitString, PIMSystem, PIMTrie, PIMTrieConfig
+from repro.adapt import (
+    AdaptiveController,
+    AdaptPolicy,
+    ClusterAdaptiveController,
+)
+from repro.faults import FaultPlan
+from repro.obs import Tracer, root_metric_sums
+from repro.perf import reset_id_counters
+from repro.serve import (
+    EpochServer,
+    policy_from_name,
+    replay_direct,
+    trace_from_stream,
+)
+from repro.workloads import flash_crowd_stream, uniform_keys, zipf_prefix
+
+from .harness import DictOracle, apply_batch, gen_ops, make_cluster
+
+P = 4
+LENGTH = 32
+
+#: trigger-happy policy so tiny test workloads exercise every action
+EAGER = AdaptPolicy(
+    hot_fraction=0.05,
+    cold_fraction=0.02,
+    min_window=4.0,
+    cooldown=0,
+    max_replicas=2,
+    split_min_keys=2,
+    max_actions_per_epoch=8,
+)
+
+
+def fresh_trie(n=96, block_bound=None, seed=5):
+    reset_id_counters()
+    system = PIMSystem(P, seed=1)
+    cfg = (
+        PIMTrieConfig(num_modules=P, block_bound=block_bound)
+        if block_bound
+        else PIMTrieConfig(num_modules=P)
+    )
+    keys = zipf_prefix(n, LENGTH, 4, 1.3, seed=seed)
+    keys = sorted(set(keys))
+    return PIMTrie(system, cfg, keys=keys, values=[str(k) for k in keys]), keys
+
+
+def snapshot_answers(trie, keys):
+    probes = keys[::3] + uniform_keys(16, LENGTH, seed=77)
+    return (
+        list(trie.lcp_batch(probes)),
+        list(trie.lookup_batch(probes)),
+        [sorted((str(k), v) for k, v in items)
+         for items in trie.subtree_batch([k.prefix(3) for k in keys[:4]])],
+    )
+
+
+# ----------------------------------------------------------------------
+class TestMaintenanceOps:
+    def test_split_preserves_answers_and_validates(self):
+        trie, keys = fresh_trie(block_bound=128)
+        before = snapshot_answers(trie, keys)
+        hot = max(trie.block_keys, key=trie.block_keys.get)
+        made = trie.split_block(hot, bound=8)
+        assert made > 0
+        trie.validate()
+        assert snapshot_answers(trie, keys) == before
+
+    def test_replicate_then_dereplicate_roundtrip(self):
+        trie, keys = fresh_trie()
+        before = snapshot_answers(trie, keys)
+        bid = max(trie.block_keys, key=trie.block_keys.get)
+        m = trie.replicate_block(bid)
+        assert m is not None and m != trie.block_module[bid]
+        assert trie.block_replicas[bid] == [m]
+        trie.validate()
+        assert snapshot_answers(trie, keys) == before
+        # replicated reads round-robin: the cursor moves as reads land
+        trie.lcp_batch(keys[:8])
+        trie.lcp_batch(keys[:8])
+        assert trie._block_rr.get(bid, 0) > 0
+        assert trie.dereplicate_block(bid) == 1
+        assert bid not in trie.block_replicas
+        trie.validate()
+        assert snapshot_answers(trie, keys) == before
+
+    def test_writes_reach_replicas(self):
+        trie, keys = fresh_trie()
+        bid = max(trie.block_keys, key=trie.block_keys.get)
+        trie.replicate_block(bid)
+        extra = uniform_keys(24, LENGTH, seed=91)
+        trie.insert_batch(extra, [f"x{i}" for i in range(len(extra))])
+        trie.delete_batch(keys[:10] + extra[:5])
+        trie.validate()  # replica copies must equal the primary
+
+    def test_merge_reverses_split(self):
+        trie, keys = fresh_trie(block_bound=128)
+        before = snapshot_answers(trie, keys)
+        hot = max(trie.block_keys, key=trie.block_keys.get)
+        trie.split_block(hot, bound=8)
+        assert trie.block_children.get(hot)
+        absorbed = trie.merge_block(hot)
+        assert absorbed > 0
+        trie.validate()
+        assert snapshot_answers(trie, keys) == before
+
+    def test_structural_ops_survive_rebuild_from_mirror(self):
+        trie, keys = fresh_trie(block_bound=128)
+        before = snapshot_answers(trie, keys)
+        hot = max(trie.block_keys, key=trie.block_keys.get)
+        trie.split_block(hot, bound=8)
+        other = max(trie.block_keys, key=trie.block_keys.get)
+        trie.replicate_block(other)
+        trie.rebuild_from_mirror()
+        trie.validate()
+        assert not trie.block_replicas  # rebuild drops the overlay
+        assert snapshot_answers(trie, keys) == before
+
+
+# ----------------------------------------------------------------------
+class TestControllerLoop:
+    def test_hot_blocks_get_defended_and_cold_ones_released(self):
+        trie, keys = fresh_trie(n=160, block_bound=256)
+        ctl = AdaptiveController(trie, EAGER)
+        hot_keys = [k for k in keys if k.value >> (LENGTH - 2) == keys[0].value >> (LENGTH - 2)] or keys[:20]
+        for _ in range(6):
+            trie.lcp_batch(hot_keys * 2)
+            ctl.step()
+        assert ctl.counts["split"] + ctl.counts["replicate"] > 0
+        trie.validate()
+        replicated_at_peak = len(trie.block_replicas)
+        # traffic shifts elsewhere: the old hot set's share collapses
+        # and its defenses retire (shares are relative, so a pure stop
+        # freezes them — only *displacement* makes a block cold)
+        cold_probes = uniform_keys(60, LENGTH, seed=123)
+        for _ in range(12):
+            trie.lcp_batch(cold_probes * 3)
+            ctl.step()
+        assert (
+            ctl.counts["dereplicate"] + ctl.counts["merge"] > 0
+            or len(trie.block_replicas) < replicated_at_peak
+        )
+        trie.validate()
+
+    def test_decisions_are_free_actions_are_accounted(self):
+        trie, keys = fresh_trie()
+        ctl = AdaptiveController(trie, AdaptPolicy(min_window=1e9))
+        trie.lcp_batch(keys)
+        before = trie.system.snapshot()
+        ctl.step()  # window never reaches min_window => observe only
+        delta = trie.system.snapshot().delta(before)
+        assert delta.io_rounds == 0 and delta.io_time == 0
+
+    def test_summary_counts_match_log(self):
+        trie, keys = fresh_trie(n=160, block_bound=256)
+        ctl = AdaptiveController(trie, EAGER)
+        for _ in range(5):
+            trie.lcp_batch(keys[:30] * 2)
+            ctl.step()
+        s = ctl.summary()
+        for kind in ("split", "replicate", "dereplicate", "merge"):
+            assert s[kind] == sum(1 for e in ctl.log if e[1] == kind)
+        assert s["epochs"] == ctl.epoch
+
+
+# ----------------------------------------------------------------------
+class TestDifferentialAdapt:
+    """The ISSUE's core promise: adversarial sequences replayed across
+    adapt-on and adapt-off produce identical answers (and both match
+    the dict oracle)."""
+
+    SEEDS = (0, 1, 2, 5, 11, 17, 23, 31)
+
+    @staticmethod
+    def replay(ops, adaptive: bool):
+        reset_id_counters()
+        system = PIMSystem(P, seed=1)
+        trie = PIMTrie(system, PIMTrieConfig(num_modules=P))
+        ctl = AdaptiveController(trie, EAGER) if adaptive else None
+        replies = []
+        for kind, payload in ops:
+            replies.append(apply_batch(trie, kind, payload))
+            if ctl is not None:
+                ctl.step()  # controller acts between every client batch
+        if ctl is not None:
+            trie.validate()
+        return replies, ctl
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_adapt_on_equals_adapt_off_equals_oracle(self, seed):
+        ops = gen_ops(seed, batches=10, batch_size=6)
+        oracle = DictOracle()
+        expected = [apply_batch(oracle, kind, p) for kind, p in ops]
+        on, ctl = self.replay(ops, adaptive=True)
+        off, _ = self.replay(ops, adaptive=False)
+        assert on == off
+        assert on == expected
+        assert ctl.epoch == len(ops)
+
+    def test_controller_really_acts_on_some_sequence(self):
+        # guard against the suite passing vacuously: across the seeds,
+        # at least one sequence must trigger structural actions
+        acted = 0
+        for seed in self.SEEDS:
+            ops = gen_ops(seed, batches=10, batch_size=6)
+            _, ctl = self.replay(ops, adaptive=True)
+            acted += sum(ctl.counts.values())
+        assert acted > 0
+
+
+# ----------------------------------------------------------------------
+class TestServeIntegration:
+    def make_trace(self, n=220, seed=3):
+        stream = flash_crowd_stream(
+            n, LENGTH, num_crowds=2, crowd_fraction=0.9, rate=4.0, seed=seed
+        )
+        return trace_from_stream(stream, seed=seed, name="flash")
+
+    def served_answers(self, adaptive: bool, tracer=False):
+        reset_id_counters()
+        system = PIMSystem(P, seed=1)
+        tr = Tracer(system) if tracer else None
+        keys = sorted(set(uniform_keys(80, LENGTH, seed=5)))
+        trie = PIMTrie(
+            system, PIMTrieConfig(num_modules=P),
+            keys=keys, values=[str(k) for k in keys],
+        )
+        ctl = AdaptiveController(trie, EAGER) if adaptive else None
+        server = EpochServer(
+            trie, policy_from_name("eager", max_batch=24), adapt=ctl
+        )
+        report = server.run(self.make_trace())
+        return report, trie, tr
+
+    def test_adapt_on_off_same_answers_and_extra_summary(self):
+        rep_on, trie, _ = self.served_answers(True)
+        rep_off, _, _ = self.served_answers(False)
+        on = {c.seq: c.reply for c in rep_on.completed if c.ok}
+        off = {c.seq: c.reply for c in rep_off.completed if c.ok}
+        assert on == off
+        trie.validate()
+        assert "adapt" in rep_on.extra
+        assert rep_on.extra["adapt"]["epochs"] == len(rep_on.epochs)
+        assert "adapt" not in rep_off.extra
+
+    def test_adapt_spans_present_and_span_sums_exact(self):
+        reset_id_counters()
+        system = PIMSystem(P, seed=1)
+        tracer = Tracer(system)
+        before = system.snapshot()
+        keys = sorted(set(uniform_keys(80, LENGTH, seed=5)))
+        trie = PIMTrie(
+            system, PIMTrieConfig(num_modules=P),
+            keys=keys, values=[str(k) for k in keys],
+        )
+        ctl = AdaptiveController(trie, EAGER)
+        EpochServer(
+            trie, policy_from_name("eager", max_batch=24), adapt=ctl
+        ).run(self.make_trace())
+        delta = system.snapshot().delta(before)
+        adapt_spans = [s for s in tracer.spans if s.cat == "adapt"]
+        if sum(ctl.counts.values()):
+            assert adapt_spans
+            assert all(s.name.startswith("adapt.") for s in adapt_spans)
+        # the invariant the obs layer enforces everywhere else: root
+        # spans (including adapt.*) sum exactly to the measured delta
+        assert root_metric_sums(tracer.spans) == {
+            "io_rounds": delta.io_rounds,
+            "io_time": delta.io_time,
+            "words": delta.total_communication,
+            "pim_time": delta.pim_time,
+            "cpu_work": delta.cpu_work,
+        }
+
+    def test_adapt_under_faults_still_matches_direct_replay(self):
+        reset_id_counters()
+        system = PIMSystem(P, seed=1)
+        keys = sorted(set(uniform_keys(80, LENGTH, seed=5)))
+        trie = PIMTrie(
+            system, PIMTrieConfig(num_modules=P),
+            keys=keys, values=[str(k) for k in keys],
+        )
+        trie.system.install_faults(FaultPlan(
+            crashes={1: 3}, drop_replies={(12, m) for m in range(P)},
+        ))
+        ctl = AdaptiveController(trie, EAGER)
+        trace = self.make_trace()
+        report = EpochServer(
+            trie, policy_from_name("eager", max_batch=24), adapt=ctl
+        ).run(trace)
+        assert report.failed == 0
+
+        reset_id_counters()
+        twin_sys = PIMSystem(P, seed=1)
+        twin = PIMTrie(
+            twin_sys, PIMTrieConfig(num_modules=P),
+            keys=keys, values=[str(k) for k in keys],
+        )
+        direct = dict(replay_direct(twin, trace.ops))
+        served = {c.seq: c.reply for c in report.completed if c.ok}
+        assert served == {seq: direct[seq] for seq in served}
+        trie.validate()
+
+
+# ----------------------------------------------------------------------
+class TestClusterAdapt:
+    def test_per_rack_controllers_and_router_rollup(self):
+        cluster = make_cluster("hash", 4)
+        ctl = ClusterAdaptiveController(cluster, EAGER)
+        keys = zipf_prefix(120, 24, 4, 1.3, seed=3)
+        cluster.insert_batch(keys, [str(k) for k in keys])
+        for _ in range(4):
+            cluster.lcp_batch(keys[:40])
+            s = ctl.step()
+        assert s["racks"] == 4
+        assert len(ctl._by_rack) == 4
+        merged = ctl.router_sketch()
+        assert merged is not None
+        assert merged.total == pytest.approx(
+            sum(c.sketch.total for c in ctl._by_rack.values())
+        )
+        # the router view dominates every rack's estimate (merge adds)
+        probe = keys[0].prefix(8)
+        for c in ctl._by_rack.values():
+            assert merged.estimate(probe) >= c.sketch.estimate(probe)
+        summary = ctl.summary()
+        for kind in ("split", "replicate", "dereplicate", "merge"):
+            assert summary[kind] == sum(
+                c.counts[kind] for c in ctl._by_rack.values()
+            )
+
+    def test_cluster_adapt_preserves_oracle_answers(self):
+        cluster = make_cluster("hash", 2)
+        ctl = ClusterAdaptiveController(cluster, EAGER)
+        ops = gen_ops(7, batches=8, batch_size=5)
+        oracle = DictOracle()
+        for kind, payload in ops:
+            got = apply_batch(cluster, kind, payload)
+            expected = apply_batch(oracle, kind, payload)
+            assert got == expected, kind
+            ctl.step()
+
+    def test_dead_racks_are_skipped(self):
+        cluster = make_cluster("hash", 2, replication=2)
+        ctl = ClusterAdaptiveController(cluster, EAGER)
+        keys = uniform_keys(40, 24, seed=4)
+        cluster.insert_batch(keys, [str(k) for k in keys])
+        ctl.step()
+        racks = [r for r in cluster.iter_racks()]
+        cluster.fail_rack(racks[0].shard, racks[0].slot)
+        s = ctl.step()
+        assert s["racks"] == sum(1 for r in cluster.iter_racks() if r.alive)

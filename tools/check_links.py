@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Docs link check: fail on broken intra-repo links.
+
+Scans README.md, DESIGN.md, EXPERIMENTS.md, ROADMAP.md, and docs/ for
+markdown links/images whose target is a repo-relative path and verifies
+the target exists (anchors and external URLs are not resolved — only
+file existence is checked, which is the class of rot CI can catch
+cheaply and deterministically).
+
+    python tools/check_links.py [root]
+
+Exits 0 if every link resolves, 1 otherwise (listing each broken one).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: inline markdown links and images: [text](target) / ![alt](target)
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+#: skip external and intra-page targets
+_EXTERNAL = re.compile(r"^(?:[a-z][a-z0-9+.-]*:|#)", re.IGNORECASE)
+
+DOC_GLOBS = (
+    "README.md",
+    "DESIGN.md",
+    "EXPERIMENTS.md",
+    "ROADMAP.md",
+    "docs/*.md",
+)
+
+
+def iter_docs(root: Path):
+    for pattern in DOC_GLOBS:
+        yield from sorted(root.glob(pattern))
+
+
+def strip_code(text: str) -> str:
+    """Drop fenced code blocks and inline code — links inside code are
+    examples, not navigation."""
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    return re.sub(r"`[^`\n]*`", "", text)
+
+
+def check_file(path: Path, root: Path) -> list[str]:
+    problems = []
+    for target in _LINK.findall(strip_code(path.read_text())):
+        if _EXTERNAL.match(target):
+            continue
+        plain = target.split("#", 1)[0]
+        if not plain:
+            continue
+        base = root if plain.startswith("/") else path.parent
+        resolved = (base / plain.lstrip("/")).resolve()
+        if not resolved.exists():
+            problems.append(
+                f"{path.relative_to(root)}: broken link -> {target}"
+            )
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    root = Path(argv[1]).resolve() if len(argv) > 1 else Path.cwd()
+    problems: list[str] = []
+    checked = 0
+    for doc in iter_docs(root):
+        problems.extend(check_file(doc, root))
+        checked += 1
+    if problems:
+        print(f"{len(problems)} broken link(s) across {checked} file(s):")
+        for p in problems:
+            print(f"  {p}")
+        return 1
+    print(f"checked {checked} doc file(s): all intra-repo links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

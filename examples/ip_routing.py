@@ -9,6 +9,14 @@ for a batch of destination addresses — including an adversarial burst
 where every packet targets the same /16, the situation that would
 serialize a range-partitioned forwarding table.
 
+Longest-prefix match uses the ordered op surface: one ``lcp_batch``
+bounds the candidate prefix length, an exact ``lookup_batch`` resolves
+the common case, and the misses fall back through batched
+``predecessor_batch`` chains — in prefix-first key order every stored
+prefix of a destination sorts at or below ``dest.prefix(lcp)``, so the
+strict-predecessor walk visits stored routes in decreasing order and
+the first one that is a prefix of the destination is the longest.
+
 Run:  python examples/ip_routing.py
 """
 
@@ -25,6 +33,57 @@ def ip_str(b: BitString) -> str:
     padded = b.pad_to(32, 0)
     octets = [padded.substring(i, i + 8).value for i in range(0, 32, 8)]
     return ".".join(map(str, octets)) + f"/{len(b)}"
+
+
+def lpm_batch(fib: PIMTrie, dests: list[BitString]):
+    """Longest-prefix match for every destination, batched end to end.
+
+    Returns ``(routes, chain_rounds)``: per-destination ``(prefix,
+    next_hop)`` or ``None``, plus the number of predecessor-chain
+    rounds the whole batch needed (0 when every match was exact).
+    """
+    lcps = fib.lcp_batch(dests)
+    cands = [d.prefix(l) for d, l in zip(dests, lcps)]
+    hits = fib.lookup_batch(cands)
+    routes: list = [None] * len(dests)
+    probe: dict[int, BitString] = {}
+    for i, (c, v) in enumerate(zip(cands, hits)):
+        if not lcps[i]:
+            continue  # no stored route shares even one leading bit
+        if v is not None:
+            routes[i] = (c, v)  # the LCP depth is itself a route
+        else:
+            probe[i] = c
+    chain_rounds = 0
+    while probe:
+        idxs = sorted(probe)
+        preds = fib.predecessor_batch([probe[i] for i in idxs])
+        cands: dict[int, BitString] = {}
+        for i, p in zip(idxs, preds):
+            if p is None:
+                continue  # ran off the bottom: no matching route
+            k, v = p
+            if dests[i].starts_with(k):
+                routes[i] = (k, v)  # longest stored prefix of dest
+            else:
+                # every remaining stored prefix of dest is no longer
+                # than lcp(k, dest) — jump straight to that candidate
+                # (strictly shorter each round, so chains are bounded
+                # by the address width)
+                c = dests[i].prefix(k.lcp_len(dests[i]))
+                if len(c):
+                    cands[i] = c
+        probe = {}
+        if cands:
+            li = sorted(cands)
+            vals = fib.lookup_batch([cands[i] for i in li])
+            for i, v in zip(li, vals):
+                if v is not None:
+                    routes[i] = (cands[i], v)
+                else:
+                    probe[i] = cands[i]
+        chain_rounds += 1
+    return routes, chain_rounds
 
 
 def main() -> None:
@@ -44,27 +103,32 @@ def main() -> None:
     rng = np.random.default_rng(11)
     dests = [BitString(int(v), 32) for v in rng.integers(0, 1 << 32, size=512)]
     before = system.snapshot()
-    lcps = fib.lcp_batch(dests)
+    routes, chain_rounds = lpm_batch(fib, dests)
     cost = system.snapshot().delta(before)
 
-    # longest-prefix-match: the LCP depth is a route iff that exact
-    # prefix is in the table; walk down to the longest stored prefix.
-    prefix_set = set(table)
-    hits = 0
-    for d, lcp in zip(dests, lcps):
-        plen = lcp
-        while plen > 0 and d.prefix(plen) not in prefix_set:
-            plen -= 1
-        if plen:
-            hits += 1
+    hits = sum(1 for r in routes if r is not None)
     print(
-        f"\nuniform batch of {len(dests)} lookups: {hits} matched routes\n"
+        f"\nuniform batch of {len(dests)} lookups: {hits} matched routes "
+        f"({chain_rounds} predecessor-chain rounds)\n"
         f"  {cost.io_rounds} IO rounds, "
         f"{cost.total_communication / len(dests):.1f} words/lookup, "
         f"imbalance {cost.traffic_imbalance():.2f}"
     )
-    for d, lcp in list(zip(dests, lcps))[:5]:
-        print(f"  {ip_str(d)[:18]:<20} longest match: {lcp} bits")
+    for d, r in list(zip(dests, routes))[:5]:
+        match = f"{ip_str(r[0])} -> {r[1]}" if r else "no route"
+        print(f"  {ip_str(d)[:18]:<20} longest match: {match}")
+
+    # consistency check: the predecessor-chain answers must equal the
+    # textbook host-side walk-down over the prefix set
+    value_of = dict(zip(table, next_hops))
+    prefix_set = set(table)
+    ok = True
+    for d, r in zip(dests, routes):
+        plen = max((len(p) for p in prefix_set if d.starts_with(p)),
+                   default=0)
+        want = (d.prefix(plen), value_of[d.prefix(plen)]) if plen else None
+        ok = ok and (r == want)
+    print(f"predecessor-chain LPM consistent with host reference: {ok}")
 
     # --- adversarial burst: every packet in one /16 ------------------
     hot = table[len(table) // 2].prefix(16).pad_to(16, 0)

@@ -257,6 +257,38 @@ def cmd_cluster(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def cmd_ordered(args: argparse.Namespace) -> int:
+    from .ordered.bench import check_floor_ordered, run_bench_ordered
+
+    report = run_bench_ordered(out=args.out, smoke=args.smoke,
+                               seed=args.seed)
+    head = report["headline"]
+    print(f"ordered — pred/succ/range/count/top-k op surface "
+          f"({report['profile']} profile)\n")
+    print(f"{'target':<24} {'digest':<16}")
+    for run in report["runs"]:
+        print(f"{run['target']:<24} {run['digest'][:16]}")
+    print(f"\nheadline: answer digest {head['answer_digest'][:16]} across "
+          f"{head['targets']} targets — all match oracle: "
+          f"{head['all_digests_match']}; pipeline metric parity: "
+          f"{head['pipeline_metric_parity']}; span sums exact: "
+          f"{head['span_sums_exact']}; ordered reads "
+          f"{head['ordered']['ops_per_sec']:.0f} ops/s "
+          f"({head['speedup_vs_naive']:.1f}x over naive scan)")
+    if args.out:
+        print(f"wrote {args.out}")
+    ok = (
+        head["all_digests_match"]
+        and head["pipeline_metric_parity"]
+        and head["span_sums_exact"]
+    )
+    if not ok:
+        return 1
+    if args.check_floor:
+        return check_floor_ordered(report, args.check_floor)
+    return 0
+
+
 def cmd_adapt(args: argparse.Namespace) -> int:
     from .adapt.bench import run_bench_adapt
 
@@ -467,6 +499,20 @@ def main(argv: list[str] | None = None) -> int:
                    help="small deterministic run (correctness gates only)")
     p.add_argument("--out", default="BENCH_adapt.json")
     p.add_argument("--seed", type=int, default=7)
+    p = sub.add_parser(
+        "ordered",
+        help="ordered-index op surface (E19): pred/succ/range/count/"
+             "top-k answer parity across pipelines, cluster policies, "
+             "and adapt on/off (writes BENCH_ordered.json)",
+    )
+    p.set_defaults(fn=cmd_ordered)
+    p.add_argument("--smoke", action="store_true",
+                   help="small deterministic run (correctness gates only)")
+    p.add_argument("--out", default="BENCH_ordered.json")
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--check-floor", metavar="RECORDED_JSON", default=None,
+                   help="exit 1 if ordered-read ops/sec falls below the "
+                   "naive-scan floor recorded in RECORDED_JSON")
     p = sub.add_parser(
         "trace",
         help="span tracing + phase profiling (writes a Chrome "

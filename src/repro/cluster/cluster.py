@@ -334,20 +334,29 @@ class PIMCluster:
     # ------------------------------------------------------------------
     # routed batch execution
     # ------------------------------------------------------------------
-    def _targets(self, kind: str, key: BitString) -> list[int]:
+    def _targets(self, kind: str, key: Any) -> list[int]:
         if kind in ("insert", "delete", "lookup"):
             return [self.policy.home(key)]
         if kind == "lcp":
             return self.policy.lcp_targets(key, self._counts)
-        if kind == "subtree":
+        if kind in ("subtree", "count", "topk"):
             return self.policy.subtree_targets(key)
+        if kind == "pred":
+            return self.policy.pred_targets(key)
+        if kind == "succ":
+            return self.policy.succ_targets(key)
+        if kind == "range":  # routed on the bound pair, not one key
+            lo, hi = key
+            return self.policy.range_targets(lo, hi)
         raise ValueError(f"unknown op kind {kind!r}")
 
     def _execute(
         self,
         kind: str,
-        keys: Sequence[BitString],
+        keys: Sequence[Any],
         values: Optional[Sequence[Any]] = None,
+        *,
+        extra: Optional[int] = None,
     ) -> tuple[list[Any], list[bool], int]:
         """Route, fan out, fan in.
 
@@ -356,6 +365,10 @@ class PIMCluster:
         shard its answer needs has no alive replica — a partial LCP or
         subtree answer would be silently wrong), and for write kinds
         the number of keys actually added/removed.
+
+        ``keys`` entries are ``(lo, hi)`` bound pairs for ``range`` and
+        plain keys otherwise; ``extra`` carries the per-call scalar of
+        the ordered kinds (``range``'s limit, ``topk``'s k).
         """
         keys = list(keys)
         vals = list(values) if values is not None else [None] * len(keys)
@@ -369,10 +382,10 @@ class PIMCluster:
             for s in targets:
                 sends.setdefault(s, []).append(i)
 
-        empty: list[Any] = [] if kind == "subtree" else 0
         replies: list[Any] = [
-            None if kind == "lookup" else
-            True if kind in ("insert", "delete") else empty
+            None if kind in ("lookup", "pred", "succ") else
+            True if kind in ("insert", "delete") else
+            [] if kind in ("subtree", "range", "topk") else 0
             for _ in keys
         ]
         for i, good in enumerate(ok):
@@ -419,6 +432,63 @@ class PIMCluster:
                             slots, rack.trie.lookup_batch(sub_keys)
                         ):
                             replies[i] = r
+                    elif kind == "pred":
+                        # the global predecessor is the largest of the
+                        # per-shard predecessors (shards hold disjoint
+                        # key sets, each reports its own largest < q)
+                        for i, r in zip(
+                            slots, rack.trie.predecessor_batch(sub_keys)
+                        ):
+                            if r is not None and (
+                                replies[i] is None or r[0] > replies[i][0]
+                            ):
+                                replies[i] = r
+                    elif kind == "succ":
+                        for i, r in zip(
+                            slots, rack.trie.successor_batch(sub_keys)
+                        ):
+                            if r is not None and (
+                                replies[i] is None or r[0] < replies[i][0]
+                            ):
+                                replies[i] = r
+                    elif kind == "count":
+                        # disjoint shard key sets: counts add exactly
+                        for i, r in zip(
+                            slots, rack.trie.prefix_count_batch(sub_keys)
+                        ):
+                            replies[i] += r
+                    elif kind == "range":
+                        # cross-shard stitching: each shard returns its
+                        # own first `limit` matches; re-merge by key and
+                        # keep the globally smallest `limit`.  Under
+                        # hash sharding consecutive keys interleave
+                        # across shards, so concatenating per-shard
+                        # answers in shard order would both break the
+                        # global order and over-fill the limit — the
+                        # merge-then-truncate keeps exactly the answer a
+                        # single trie would return.
+                        for i, items in zip(
+                            slots,
+                            rack.trie.range_batch(sub_keys, limit=extra),
+                        ):
+                            merged = sorted(
+                                list(replies[i]) + list(items),
+                                key=lambda kv: kv[0],
+                            )
+                            replies[i] = (
+                                merged if extra is None else merged[:extra]
+                            )
+                    elif kind == "topk":
+                        # same stitching as range: per-shard top-k lists
+                        # merge into the global smallest k
+                        for i, items in zip(
+                            slots, rack.trie.topk_batch(sub_keys, extra)
+                        ):
+                            merged = sorted(
+                                list(replies[i]) + list(items),
+                                key=lambda kv: kv[0],
+                            )
+                            replies[i] = merged[:extra]
                     else:  # subtree: shard key sets are disjoint, so
                         # the cross-shard merge is a sort, not a dedup
                         for i, items in zip(
@@ -433,10 +503,12 @@ class PIMCluster:
     def _strict(
         self,
         kind: str,
-        keys: Sequence[BitString],
+        keys: Sequence[Any],
         values: Optional[Sequence[Any]] = None,
+        *,
+        extra: Optional[int] = None,
     ) -> tuple[list[Any], int]:
-        replies, ok, changed = self._execute(kind, keys, values)
+        replies, ok, changed = self._execute(kind, keys, values, extra=extra)
         if not all(ok):
             bad = next(
                 s
@@ -469,6 +541,37 @@ class PIMCluster:
         self, prefixes: Sequence[BitString]
     ) -> list[list[tuple[BitString, Any]]]:
         return self._strict("subtree", prefixes)[0]
+
+    # -- the ordered-index surface (repro.ordered) ---------------------
+    def predecessor_batch(
+        self, keys: Sequence[BitString]
+    ) -> list[Optional[tuple[BitString, Any]]]:
+        return self._strict("pred", keys)[0]
+
+    def successor_batch(
+        self, keys: Sequence[BitString]
+    ) -> list[Optional[tuple[BitString, Any]]]:
+        return self._strict("succ", keys)[0]
+
+    def range_batch(
+        self,
+        bounds: Sequence[tuple[BitString, BitString]],
+        limit: Optional[int] = None,
+    ) -> list[list[tuple[BitString, Any]]]:
+        return self._strict("range", bounds, extra=limit)[0]
+
+    def prefix_count_batch(self, prefixes: Sequence[BitString]) -> list[int]:
+        return self._strict("count", prefixes)[0]
+
+    def topk_batch(
+        self, prefixes: Sequence[BitString], k: int
+    ) -> list[list[tuple[BitString, Any]]]:
+        return self._strict("topk", prefixes, extra=k)[0]
+
+    def top_k(
+        self, prefix: BitString, k: int
+    ) -> list[tuple[BitString, Any]]:
+        return self.topk_batch([prefix], k)[0]
 
     # ------------------------------------------------------------------
     # introspection

@@ -85,11 +85,41 @@ class ClusterService:
                 pending.discard((shard, slot))
 
     def _segment_shards(self, kind: str, ops: list[Operation]) -> set[int]:
+        # range ops route on their (lo, hi) interval — lo is the op key,
+        # hi rides in value[0] next to the limit
         return {
-            s for op in ops for s in self.cluster._targets(kind, op.key)
+            s
+            for op in ops
+            for s in self.cluster._targets(
+                kind,
+                (op.key, op.value[0]) if kind == "range" else op.key,
+            )
         }
 
     def _run_segment(self, kind: str, ops: list[Operation]) -> list[Any]:
+        if kind in ("range", "topk"):
+            # per-op limit / k rides in the value; group same-parameter
+            # runs onto one router call each (host-side reads — grouping
+            # has no effect on round structure)
+            replies: list[Any] = [None] * len(ops)
+            oks: list[bool] = [True] * len(ops)
+            groups: dict[Any, list[int]] = {}
+            for i, op in enumerate(ops):
+                extra = op.value[1] if kind == "range" else op.value
+                groups.setdefault(extra, []).append(i)
+            for extra, idxs in groups.items():
+                keys = [
+                    (ops[i].key, ops[i].value[0]) if kind == "range"
+                    else ops[i].key
+                    for i in idxs
+                ]
+                sub, ok, _ = self.cluster._execute(kind, keys, None, extra=extra)
+                for j, i in enumerate(idxs):
+                    replies[i] = sub[j]
+                    oks[i] = ok[j]
+            return [
+                r if good else OP_FAILED for r, good in zip(replies, oks)
+            ]
         keys = [op.key for op in ops]
         values = [op.value for op in ops] if kind == "insert" else None
         replies, ok, _ = self.cluster._execute(kind, keys, values)

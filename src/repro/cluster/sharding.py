@@ -106,6 +106,18 @@ class ShardingPolicy:
         """Shards whose ranges can hold extensions of ``prefix``."""
         raise NotImplementedError
 
+    def pred_targets(self, key: BitString) -> list[int]:
+        """Shards that can hold the predecessor (largest key < query)."""
+        raise NotImplementedError
+
+    def succ_targets(self, key: BitString) -> list[int]:
+        """Shards that can hold the successor (smallest key > query)."""
+        raise NotImplementedError
+
+    def range_targets(self, lo: BitString, hi: BitString) -> list[int]:
+        """Shards whose key sets can intersect ``[lo, hi]``."""
+        raise NotImplementedError
+
     # ------------------------------------------------------------------
     def describe(self) -> str:
         return self.name
@@ -166,6 +178,18 @@ class HashSharding(ShardingPolicy):
         if len(prefix) >= self.prefix_bits:
             # every extension of the prefix shares all hashed bits
             return [self.home(prefix)]
+        return list(range(self.num_shards))
+
+    # hashing scatters lexicographic neighbors and intervals alike, so
+    # every ordered read is a broadcast (cheap on shards with no keys
+    # near the query: a pred/succ probe there is host CPU work only)
+    def pred_targets(self, key: BitString) -> list[int]:
+        return list(range(self.num_shards))
+
+    def succ_targets(self, key: BitString) -> list[int]:
+        return list(range(self.num_shards))
+
+    def range_targets(self, lo: BitString, hi: BitString) -> list[int]:
         return list(range(self.num_shards))
 
 
@@ -248,6 +272,20 @@ class RangeSharding(ShardingPolicy):
         lo = self.home(prefix)
         hi = self.home(prefix.pad_to(max(len(prefix), 256), 1))
         return list(range(lo, hi + 1))
+
+    # ordered reads exploit the contiguity range sharding preserves:
+    # keys below the query live at or left of home, keys above at or
+    # right of it, and an interval covers a contiguous shard run
+    def pred_targets(self, key: BitString) -> list[int]:
+        return list(range(0, self.home(key) + 1))
+
+    def succ_targets(self, key: BitString) -> list[int]:
+        return list(range(self.home(key), self.num_shards))
+
+    def range_targets(self, lo: BitString, hi: BitString) -> list[int]:
+        if hi < lo:
+            lo, hi = hi, lo
+        return list(range(self.home(lo), self.home(hi) + 1))
 
     def describe(self) -> str:
         return f"range[{len(self.separators) + 1}]"

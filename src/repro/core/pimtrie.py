@@ -50,6 +50,7 @@ from ..columnar import (
     respan_columnar,
     span_columnar,
 )
+from ..ordered import OrderedSnapshot
 from .blocks import DataBlock, extract_blocks
 from .config import PIMTrieConfig
 from .hashmatch import CollisionLog, MatchCut, RecordTable, hash_match_fragment
@@ -324,6 +325,16 @@ class PIMTrie:
         # the dirty flag an aborted maintenance path leaves behind
         self._maint_depth = 0
         self._dirty_structure = False
+
+        #: content version of the replica-log key/value union; bumped
+        #: only where the union changes (insert apply, delete apply,
+        #: bulk build).  Placement maintenance — repartition, split,
+        #: replicate, merge, empty-block collection — rewrites the log's
+        #: *layout* but preserves the union, so ordered snapshots keyed
+        #: on this version survive it untouched (which is exactly what
+        #: makes ordered answers invisible to repro.adapt).
+        self._ordered_version = 0
+        self._ordered_cache: Optional[OrderedSnapshot] = None
 
         self._register_kernels()
         keys = list(keys or [])
@@ -635,6 +646,7 @@ class PIMTrie:
                 blk.parent_id,
                 self.w,
             )
+        self._ordered_version += 1
         self._rebuild_hvm()
 
     # ==================================================================
@@ -1542,6 +1554,7 @@ class PIMTrie:
                     log = self._block_items.setdefault(block, {})
                     for rel, value in items:
                         log[rel] = value
+                self._ordered_version += 1
                 for reply in replies.values():
                     for (bid, nkeys, words) in reply:
                         self.block_keys[bid] = nkeys
@@ -1857,6 +1870,7 @@ class PIMTrie:
                     if log is not None:
                         for rel in items:
                             log.pop(rel, None)
+                self._ordered_version += 1
                 for m, reply in replies.items():
                     for (bid, nkeys, _words, removed) in reply:
                         self.block_keys[bid] = nkeys
@@ -2041,6 +2055,103 @@ class PIMTrie:
             self.system.tick_cpu(len(items))
             out.append(build_query_trie(keys, vals))
         return out
+
+    # ==================================================================
+    # ordered-index queries (repro.ordered)
+    # ==================================================================
+    def ordered_snapshot(self) -> OrderedSnapshot:
+        """The current consistent ordered view of the stored key set.
+
+        Built from the host replica log's key/value union (which equals
+        the stored key set at round boundaries) and cached until the
+        union's content version moves — a caller holding the returned
+        snapshot keeps reading the same point-in-time image no matter
+        what later batches insert, delete, or the adapt controller
+        rearranges.  Building is accounted host CPU work (one pass over
+        the live keys); no PIM rounds, no wire words.
+        """
+        snap = self._ordered_cache
+        if snap is None or snap.version != self._ordered_version:
+            with maybe_span(self.system, "ordered.snapshot", cat="phase"):
+                items = self.replica_log_items()
+                self.system.tick_cpu(max(1, len(items)))
+                snap = OrderedSnapshot(items, version=self._ordered_version)
+            self._ordered_cache = snap
+        return snap
+
+    @_traced_op("op.pred")
+    def predecessor_batch(
+        self, keys: Sequence[BitString]
+    ) -> list[Optional[tuple[BitString, Any]]]:
+        """Largest stored key strictly below each query, with its value
+        (None when no stored key is smaller)."""
+        if not keys:
+            return []
+        snap = self.ordered_snapshot()
+        with maybe_span(self.system, "ordered.answer", cat="phase"):
+            self.system.tick_cpu(len(keys))
+            return [snap.predecessor(k) for k in keys]
+
+    @_traced_op("op.succ")
+    def successor_batch(
+        self, keys: Sequence[BitString]
+    ) -> list[Optional[tuple[BitString, Any]]]:
+        """Smallest stored key strictly above each query, with its value
+        (None when no stored key is larger)."""
+        if not keys:
+            return []
+        snap = self.ordered_snapshot()
+        with maybe_span(self.system, "ordered.answer", cat="phase"):
+            self.system.tick_cpu(len(keys))
+            return [snap.successor(k) for k in keys]
+
+    @_traced_op("op.range")
+    def range_batch(
+        self,
+        bounds: Sequence[tuple[BitString, BitString]],
+        limit: Optional[int] = None,
+    ) -> list[list[tuple[BitString, Any]]]:
+        """Stored ``(key, value)`` pairs in ``[lo, hi]`` (inclusive) for
+        each bound pair, in key order, truncated to the first ``limit``
+        per query.  The scan early-terminates at the bound or limit."""
+        if not bounds:
+            return []
+        snap = self.ordered_snapshot()
+        with maybe_span(self.system, "ordered.answer", cat="phase"):
+            out = [snap.range(lo, hi, limit=limit) for lo, hi in bounds]
+            self.system.tick_cpu(len(bounds) + sum(len(r) for r in out))
+            return out
+
+    @_traced_op("op.count")
+    def prefix_count_batch(self, prefixes: Sequence[BitString]) -> list[int]:
+        """How many stored keys extend each prefix — the subtree size
+        without the subtree fetch (two O(log n) ranks per prefix)."""
+        if not prefixes:
+            return []
+        snap = self.ordered_snapshot()
+        with maybe_span(self.system, "ordered.answer", cat="phase"):
+            self.system.tick_cpu(len(prefixes))
+            return [snap.prefix_count(p) for p in prefixes]
+
+    @_traced_op("op.topk")
+    def topk_batch(
+        self, prefixes: Sequence[BitString], k: int
+    ) -> list[list[tuple[BitString, Any]]]:
+        """The ``k`` smallest stored keys extending each prefix (with
+        values) — a prefix of the sorted subtree enumeration."""
+        if not prefixes:
+            return []
+        snap = self.ordered_snapshot()
+        with maybe_span(self.system, "ordered.answer", cat="phase"):
+            out = [snap.top_k(p, k) for p in prefixes]
+            self.system.tick_cpu(len(prefixes) + sum(len(r) for r in out))
+            return out
+
+    def top_k(
+        self, prefix: BitString, k: int
+    ) -> list[tuple[BitString, Any]]:
+        """Single-prefix convenience wrapper over :meth:`topk_batch`."""
+        return self.topk_batch([prefix], k)[0]
 
     # ==================================================================
     # crash recovery (repro.faults)

@@ -1,0 +1,193 @@
+"""Ordered snapshot of the live key set, backed by the Euler-tour
+sequence machinery in :mod:`repro.forest`.
+
+An :class:`OrderedSnapshot` is a *consistent* ordered-index view built
+from the host replica log's key/value union
+(:meth:`repro.core.PIMTrie.replica_log_items`): at round boundaries the
+union equals the stored key set exactly, so a snapshot taken between
+batches is a point-in-time image of the index — later mutations build a
+new snapshot and never disturb one a caller still holds (snapshot
+isolation for reads).
+
+The ordered backbone is a :class:`~repro.forest.TreapSequence` whose
+in-order traversal is the key set in trie order — the same sequence an
+Euler tour of the trie's key leaves yields.  Because the in-order
+sequence is sorted, the treap doubles as a balanced BST over keys:
+
+* ``rank``/``select`` resolve in O(log n) via the subtree sizes,
+* predecessor / successor are a rank plus a select,
+* range scans walk in-order successors and stop at the bound or the
+  ``limit`` — genuine early termination, never a full enumeration,
+* subtree (prefix) intervals come from the prefix-first total order of
+  :class:`~repro.bits.BitString`: the keys extending a prefix ``p`` are
+  exactly the contiguous interval ``[p, p·111…]`` (padded past the
+  longest stored key), so ``prefix_count`` is two ranks and ``top_k``
+  is a bounded walk from the interval's left edge.
+
+Snapshots are pure host-side state: building or querying one moves no
+PIM words and runs no rounds.  The accounted cost (``tick_cpu``) is
+charged by the :class:`~repro.core.PIMTrie` wrappers, which also wrap
+every call in ``op.*``/``phase`` spans so the obs span-sum invariant
+stays byte-exact.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..bits import BitString
+from ..forest import SeqNode, TreapSequence
+
+__all__ = ["OrderedSnapshot"]
+
+#: fixed treap seed: snapshot shape is a pure function of the key set,
+#: so rebuilds (and every pipeline / shard / adapt mode) agree exactly
+_TREAP_SEED = 51
+
+
+class OrderedSnapshot:
+    """A frozen, totally ordered view of ``{key: value}`` at one version.
+
+    ``version`` is the content version of the replica-log union the
+    snapshot was built from (the trie's counter); the trie uses it to
+    reuse a snapshot until the key set actually changes — placement
+    maintenance (split / replicate / merge) preserves the union, so it
+    never invalidates a snapshot.
+    """
+
+    def __init__(self, items: dict[BitString, Any], *, version: int = 0):
+        self.version = version
+        self._values: dict[BitString, Any] = dict(items)
+        self.max_len = max((len(k) for k in self._values), default=0)
+        seq = TreapSequence(seed=_TREAP_SEED)
+        self._seq = seq
+        root: Optional[SeqNode] = None
+        for key in sorted(self._values):
+            root = seq.merge(root, seq.make(key))
+        self._root = root
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return TreapSequence.size(self._root)
+
+    def __contains__(self, key: BitString) -> bool:
+        return key in self._values
+
+    def value(self, key: BitString) -> Any:
+        return self._values[key]
+
+    def items(self) -> list[tuple[BitString, Any]]:
+        """Full enumeration in key order (tests' reference walk)."""
+        return [
+            (node.value, self._values[node.value])
+            for node in TreapSequence.iterate(self._root)
+        ]
+
+    # -- rank / select over the treap ----------------------------------
+    def rank(self, key: BitString, *, strict: bool = True) -> int:
+        """Number of stored keys ``< key`` (``<= key`` when not strict);
+        O(log n) BST descent — in-order is sorted, so the sequence *is*
+        a search tree over keys."""
+        cur, r = self._root, 0
+        while cur is not None:
+            below = cur.value < key if strict else cur.value <= key
+            if below:
+                r += 1 + TreapSequence.size(cur.left)
+                cur = cur.right
+            else:
+                cur = cur.left
+        return r
+
+    def select(self, i: int) -> Optional[SeqNode]:
+        """The node at in-order position ``i`` (None out of range)."""
+        cur = self._root
+        if cur is None or not 0 <= i < cur.size:
+            return None
+        while True:
+            left = TreapSequence.size(cur.left)
+            if i < left:
+                cur = cur.left
+            elif i == left:
+                return cur
+            else:
+                i -= left + 1
+                cur = cur.right
+
+    @staticmethod
+    def _next(node: SeqNode) -> Optional[SeqNode]:
+        """In-order successor via parent pointers; amortized O(1)."""
+        if node.right is not None:
+            cur = node.right
+            while cur.left is not None:
+                cur = cur.left
+            return cur
+        cur = node
+        while cur.parent is not None and cur.parent.right is cur:
+            cur = cur.parent
+        return cur.parent
+
+    # -- the ordered query surface -------------------------------------
+    def predecessor(self, key: BitString) -> Optional[tuple[BitString, Any]]:
+        """Largest stored key strictly below ``key`` (with its value)."""
+        node = self.select(self.rank(key) - 1)
+        if node is None:
+            return None
+        return node.value, self._values[node.value]
+
+    def successor(self, key: BitString) -> Optional[tuple[BitString, Any]]:
+        """Smallest stored key strictly above ``key`` (with its value)."""
+        node = self.select(self.rank(key, strict=False))
+        if node is None:
+            return None
+        return node.value, self._values[node.value]
+
+    def range(
+        self,
+        lo: BitString,
+        hi: BitString,
+        limit: Optional[int] = None,
+    ) -> list[tuple[BitString, Any]]:
+        """Stored ``(key, value)`` pairs with ``lo <= key <= hi`` in key
+        order, truncated to the first ``limit``.  The walk terminates at
+        the bound or the limit — it never visits past either."""
+        out: list[tuple[BitString, Any]] = []
+        if limit is not None and limit <= 0:
+            return out
+        node = self.select(self.rank(lo))
+        while node is not None and node.value <= hi:
+            out.append((node.value, self._values[node.value]))
+            if limit is not None and len(out) >= limit:
+                break
+            node = self._next(node)
+        return out
+
+    def prefix_interval(self, prefix: BitString) -> tuple[int, int]:
+        """In-order rank interval ``[lo, hi)`` of keys extending
+        ``prefix``: the prefix-first total order puts them contiguously
+        between ``prefix`` and ``prefix`` padded with 1-bits past the
+        longest stored key."""
+        upper = prefix.pad_to(max(len(prefix), self.max_len) + 1, 1)
+        return self.rank(prefix), self.rank(upper, strict=False)
+
+    def prefix_count(self, prefix: BitString) -> int:
+        """How many stored keys extend ``prefix``; two O(log n) ranks."""
+        lo, hi = self.prefix_interval(prefix)
+        return hi - lo
+
+    def top_k(self, prefix: BitString, k: int) -> list[tuple[BitString, Any]]:
+        """The ``k`` smallest stored keys extending ``prefix`` (with
+        values) — a prefix of the sorted subtree enumeration, walked
+        with early termination."""
+        out: list[tuple[BitString, Any]] = []
+        if k <= 0:
+            return out
+        lo, hi = self.prefix_interval(prefix)
+        node = self.select(lo)
+        take = min(k, hi - lo)
+        while node is not None and len(out) < take:
+            out.append((node.value, self._values[node.value]))
+            node = self._next(node)
+        return out
+
+    def __repr__(self) -> str:
+        return f"OrderedSnapshot(n={len(self)}, version={self.version})"

@@ -92,6 +92,32 @@ def execute_segment(trie: Any, kind: str, ops: list[Operation]) -> list[Any]:
         return [True] * len(ops)
     if kind == "subtree":
         return trie.subtree_batch([o.key for o in ops])
+    if kind == "pred":
+        return trie.predecessor_batch([o.key for o in ops])
+    if kind == "succ":
+        return trie.successor_batch([o.key for o in ops])
+    if kind == "count":
+        return trie.prefix_count_batch([o.key for o in ops])
+    if kind in ("range", "topk"):
+        # the per-op limit / k rides in the value (range ops carry
+        # ``(hi, limit)``, topk ops carry ``k``); same-parameter ops are
+        # grouped onto one batch call each.  Grouping is invisible in
+        # the metrics — ordered reads are host-side and run zero PIM
+        # rounds regardless of how they are batched.
+        out: list[Any] = [None] * len(ops)
+        groups: dict[Any, list[int]] = {}
+        for i, o in enumerate(ops):
+            extra = o.value[1] if kind == "range" else o.value
+            groups.setdefault(extra, []).append(i)
+        for extra, idxs in groups.items():
+            if kind == "range":
+                bounds = [(ops[i].key, ops[i].value[0]) for i in idxs]
+                sub = trie.range_batch(bounds, limit=extra)
+            else:
+                sub = trie.topk_batch([ops[i].key for i in idxs], extra)
+            for j, i in enumerate(idxs):
+                out[i] = sub[j]
+        return out
     raise ValueError(f"unknown op kind {kind!r}")
 
 

@@ -94,6 +94,8 @@ def make_trace(
     kind_corr: float = 0.5,
     skew: str = "uniform",
     subtree_prefix: int = 12,
+    range_limit: Optional[int] = 16,
+    topk_k: int = 8,
     seed: int = 0,
     name: Optional[str] = None,
 ) -> Trace:
@@ -108,7 +110,8 @@ def make_trace(
     raw = operation_stream(
         n, length, mix=mix, arrival=arrival, rate=rate,
         burst_factor=burst_factor, kind_corr=kind_corr, skew=skew,
-        subtree_prefix=subtree_prefix, seed=seed,
+        subtree_prefix=subtree_prefix, range_limit=range_limit,
+        topk_k=topk_k, seed=seed,
     )
     rng = np.random.default_rng(seed + 0x5EEDC)
     clients = rng.integers(num_clients, size=len(raw))

@@ -146,7 +146,13 @@ def ip_prefixes(n: int, seed: int = 0) -> list[BitString]:
 # ----------------------------------------------------------------------
 # timestamped operation streams (the serve layer's arrival model)
 # ----------------------------------------------------------------------
-OP_KINDS = ("lcp", "insert", "delete", "subtree")
+# the ordered kinds (pred/succ/range/count/topk) extend the original
+# four at the tail, with zero default mix weight — streams generated
+# with the historical mixes stay draw-for-draw identical
+OP_KINDS = (
+    "lcp", "insert", "delete", "subtree",
+    "pred", "succ", "range", "count", "topk",
+)
 
 
 class TimedOp(NamedTuple):
@@ -169,6 +175,8 @@ def operation_stream(
     kind_corr: float = 0.5,
     skew: str = "uniform",
     subtree_prefix: int = 12,
+    range_limit: Optional[int] = 16,
+    topk_k: int = 8,
     seed: int = 0,
     keys: Optional[Sequence[BitString]] = None,
     times: Optional[Sequence[float]] = None,
@@ -185,7 +193,11 @@ def operation_stream(
     from the seeded generators above, selected by ``skew``
     (``"uniform"``, ``"zipf"``, or ``"flood"`` — the E10 adversary);
     subtree ops query a ``subtree_prefix``-bit prefix of their drawn
-    key.  *Arrival times* are either
+    key.  The ordered kinds carry zero weight in the default mix; a mix
+    that includes them gets pred/succ on the drawn key, count/topk on
+    its ``subtree_prefix``-bit prefix (topk ops carry ``value=topk_k``),
+    and range ops spanning that prefix's whole extension interval with
+    ``value=(hi, range_limit)``.  *Arrival times* are either
 
     * ``"poisson"`` — iid exponential gaps at ``rate`` ops per
       simulated time unit, or
@@ -271,8 +283,15 @@ def operation_stream(
         value = None
         if kind == "insert":
             value = f"v{i}"
-        elif kind == "subtree":
+        elif kind in ("subtree", "count"):
             key = key.prefix(min(subtree_prefix, len(key)))
+        elif kind == "topk":
+            key = key.prefix(min(subtree_prefix, len(key)))
+            value = topk_k
+        elif kind == "range":
+            lo = key.prefix(min(subtree_prefix, len(key)))
+            hi = lo.pad_to(max(len(lo), length), 1)
+            key, value = lo, (hi, range_limit)
         out.append(TimedOp(float(times[i]), kind, key, value))
     return out
 

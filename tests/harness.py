@@ -2,11 +2,22 @@
 divergence detection, and shrinking.
 
 The harness generates randomized-but-reproducible sequences of batched
-operations (insert / delete / lcp / lookup / subtree) and replays each
-sequence through every registered index implementation plus a plain
-in-memory oracle (:class:`DictOracle`).  All indexes must produce the
-oracle's answers — batching, distribution, and placement are execution
-strategies, never semantic changes.
+operations (insert / delete / lcp / lookup / subtree, plus the ordered
+kinds pred / succ / range / count / topk when ``gen_ops(...,
+ordered=True)``) and replays each sequence through every registered
+index implementation plus a plain in-memory oracle
+(:class:`DictOracle`).  All indexes must produce the oracle's answers —
+batching, distribution, and placement are execution strategies, never
+semantic changes.
+
+The oracle answers ordered queries by *independent* means — ``bisect``
+over a freshly sorted key list for pred/succ/range, a
+``starts_with`` filter for count/topk — so agreement with the trie's
+treap-backed :class:`repro.ordered.OrderedSnapshot` is evidence, not
+tautology.  Range and top-k batches encode their per-batch parameter in
+the kind string (``"range:3"`` = limit 3, ``"range:0"`` = unlimited,
+``"topk:4"`` = k 4) so the ``(kind, payload)`` sequence shape — and
+with it :func:`shrink` and :func:`format_ops` — stays unchanged.
 
 Key-generation is adversarial on purpose: keys are drawn from a small
 pool of shared anchors, bit-flipped and prefix-extended variants of
@@ -24,6 +35,7 @@ Used by ``tests/test_differential.py``; importable from other tests.
 
 from __future__ import annotations
 
+import bisect
 import random
 from typing import Any, Callable, Optional
 
@@ -96,6 +108,63 @@ class DictOracle:
             )
             for p in prefixes
         ]
+
+    # -- ordered queries, by independent means (bisect / filter) -------
+    def _sorted_keys(self) -> list[BitString]:
+        return sorted(self.store)
+
+    def predecessor_batch(
+        self, keys: list[BitString]
+    ) -> list[Optional[tuple[BitString, Any]]]:
+        s = self._sorted_keys()
+        out: list[Optional[tuple[BitString, Any]]] = []
+        for k in keys:
+            i = bisect.bisect_left(s, k)
+            out.append(None if i == 0 else (s[i - 1], self.store[s[i - 1]]))
+        return out
+
+    def successor_batch(
+        self, keys: list[BitString]
+    ) -> list[Optional[tuple[BitString, Any]]]:
+        s = self._sorted_keys()
+        out: list[Optional[tuple[BitString, Any]]] = []
+        for k in keys:
+            i = bisect.bisect_right(s, k)
+            out.append(None if i == len(s) else (s[i], self.store[s[i]]))
+        return out
+
+    def range_batch(
+        self,
+        bounds: list[tuple[BitString, BitString]],
+        limit: Optional[int] = None,
+    ) -> list[list[tuple[BitString, Any]]]:
+        s = self._sorted_keys()
+        out: list[list[tuple[BitString, Any]]] = []
+        for lo, hi in bounds:
+            # an inverted interval slices empty, same as the trie walk
+            i = bisect.bisect_left(s, lo)
+            j = bisect.bisect_right(s, hi)
+            items = [(k, self.store[k]) for k in s[i:j]]
+            out.append(items if limit is None else items[:limit])
+        return out
+
+    def prefix_count_batch(self, prefixes: list[BitString]) -> list[int]:
+        return [
+            sum(1 for k in self.store if k.starts_with(p)) for p in prefixes
+        ]
+
+    def topk_batch(
+        self, prefixes: list[BitString], k: int
+    ) -> list[list[tuple[BitString, Any]]]:
+        out = []
+        for p in prefixes:
+            items = sorted(
+                ((key, v) for key, v in self.store.items()
+                 if key.starts_with(p)),
+                key=lambda kv: kv[0],
+            )
+            out.append(items[: max(0, k)])
+        return out
 
 
 # ----------------------------------------------------------------------
@@ -198,24 +267,34 @@ def _collision_key(
 
 
 def gen_ops(
-    seed: int, *, batches: int = 8, batch_size: int = 5
+    seed: int, *, batches: int = 8, batch_size: int = 5,
+    ordered: bool = False,
 ) -> list[tuple[str, list]]:
     """A reproducible sequence of (kind, payload) batches.
 
-    Payloads are ``[(key, value), ...]`` for inserts and ``[key, ...]``
-    otherwise.  Values are unique strings so lookup answers are
-    unambiguous (a ``None`` reply always means "absent").
+    Payloads are ``[(key, value), ...]`` for inserts, ``[(lo, hi), ...]``
+    for ranges, and ``[key, ...]`` otherwise.  Values are unique strings
+    so lookup answers are unambiguous (a ``None`` reply always means
+    "absent").  ``ordered=True`` mixes in the ordered kinds — pred /
+    succ / count plus parameterized ``"range:<limit>"`` and
+    ``"topk:<k>"`` batches (``range:0`` = unlimited); the default keeps
+    every pre-existing seeded sequence byte-identical.
     """
     rng = random.Random(seed)
     anchors = [_rand_key(rng) for _ in range(4)]
     inserted: list[BitString] = []
     serial = 0
     ops: list[tuple[str, list]] = []
+    kinds = ["insert", "delete", "lcp", "lookup", "subtree"]
+    weights = [4, 2, 3, 2, 2]
+    if ordered:
+        kinds += ["pred", "succ", "count", "range", "topk"]
+        weights += [2, 2, 1, 2, 2]
     for b in range(batches):
         # front-load writes so reads have something to find
         kind = rng.choices(
-            ["insert", "delete", "lcp", "lookup", "subtree"],
-            weights=[4, 2, 3, 2, 2] if b else [1, 0, 0, 0, 0],
+            kinds,
+            weights=weights if b else [1] + [0] * (len(kinds) - 1),
         )[0]
         size = rng.randint(1, batch_size)
         if kind == "insert":
@@ -225,12 +304,24 @@ def gen_ops(
                 payload.append((k, f"v{serial}"))
                 serial += 1
                 inserted.append(k)
-        elif kind == "subtree":
+        elif kind in ("subtree", "count", "topk"):
             payload = []
             for _ in range(size):
                 k = _collision_key(rng, anchors, inserted)
                 payload.append(k.prefix(rng.randint(1, min(8, len(k)))))
-        else:  # delete / lcp / lookup
+            if kind == "topk":
+                kind = f"topk:{rng.randint(1, 5)}"
+        elif kind == "range":
+            # collision-derived endpoints: bounds brush stored keys and
+            # their prefixes, and occasionally invert (empty answer)
+            kind = f"range:{rng.randint(1, 6) if rng.random() < 0.7 else 0}"
+            payload = []
+            for _ in range(size):
+                a = _collision_key(rng, anchors, inserted)
+                c = _collision_key(rng, anchors, inserted)
+                payload.append((a, c) if a <= c or rng.random() < 0.1
+                               else (c, a))
+        else:  # delete / lcp / lookup / pred / succ
             payload = [
                 _collision_key(rng, anchors, inserted) for _ in range(size)
             ]
@@ -245,13 +336,20 @@ def gen_ops(
 # replay and comparison
 # ----------------------------------------------------------------------
 def _normalize(kind: str, reply: Any) -> Any:
-    if kind == "subtree":
+    base = kind.split(":", 1)[0]
+    if base == "subtree":
         return [sorted((str(k), v) for k, v in items) for items in reply]
+    if base in ("range", "topk"):
+        # answer order is part of the contract: stringify, do NOT sort
+        return [[(str(k), v) for k, v in items] for items in reply]
+    if base in ("pred", "succ"):
+        return [None if r is None else (str(r[0]), r[1]) for r in reply]
     return reply
 
 
 def apply_batch(index: Any, kind: str, payload: list) -> Any:
-    """Run one batch; returns the normalized reply (None for writes)."""
+    """Run one batch; returns the normalized reply (None for writes
+    and for ops the target does not expose)."""
     if kind == "insert":
         index.insert_batch([k for k, _ in payload], [v for _, v in payload])
         return None
@@ -266,6 +364,25 @@ def apply_batch(index: Any, kind: str, payload: list) -> Any:
         return list(index.lcp_batch(list(payload)))
     if kind == "subtree":
         return _normalize("subtree", index.subtree_batch(list(payload)))
+    base = kind.split(":", 1)[0]
+    if base in ("pred", "succ", "count", "range", "topk"):
+        # the flat baselines expose no ordered surface — skip, as with
+        # lookup on dist-radix
+        if not hasattr(index, "predecessor_batch"):
+            return None
+        if base == "pred":
+            return _normalize(kind, index.predecessor_batch(list(payload)))
+        if base == "succ":
+            return _normalize(kind, index.successor_batch(list(payload)))
+        if base == "count":
+            return list(index.prefix_count_batch(list(payload)))
+        param = int(kind.split(":", 1)[1])
+        if base == "range":
+            return _normalize(
+                kind,
+                index.range_batch(list(payload), limit=param or None),
+            )
+        return _normalize(kind, index.topk_batch(list(payload), param))
     raise ValueError(f"unknown op kind {kind!r}")
 
 
@@ -409,6 +526,8 @@ def format_ops(ops: list) -> str:
     for kind, payload in ops:
         if kind == "insert":
             body = ", ".join(f"({k!s}, {v!r})" for k, v in payload)
+        elif kind.startswith("range"):
+            body = ", ".join(f"[{lo!s} .. {hi!s}]" for lo, hi in payload)
         else:
             body = ", ".join(str(k) for k in payload)
         lines.append(f"  {kind}: [{body}]")

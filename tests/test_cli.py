@@ -35,3 +35,15 @@ class TestCLI:
     def test_unknown_command(self):
         with pytest.raises(SystemExit):
             main(["nonsense"])
+
+    def test_ordered_smoke(self, capsys, tmp_path):
+        out = tmp_path / "BENCH_ordered.json"
+        assert main(["ordered", "--smoke", "--out", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "all match oracle: True" in text
+        assert "span sums exact: True" in text
+        assert out.exists()
+        # the committed full-profile report guards the same gates, so
+        # the smoke report must satisfy its own floor
+        assert main(["ordered", "--smoke", "--out", str(out),
+                     "--check-floor", str(out)]) == 0

@@ -314,3 +314,67 @@ class TestClusterObservability:
         assert sum(cluster.shard_traffic(mark)) == (
             merged.total_communication
         )
+
+
+# ----------------------------------------------------------------------
+# ordered reads: cross-shard range stitching (regression)
+# ----------------------------------------------------------------------
+class TestCrossShardRangeStitching:
+    """A range that straddles a shard boundary under the prefix-range
+    policy must come back globally key-ordered and honor ``limit``
+    exactly — the fan-in merges per-shard runs by key instead of
+    concatenating them in shard order.
+    """
+
+    def _boundary_cluster(self):
+        from repro.cluster import RangeSharding
+        from repro import BitString
+
+        reset_id_counters()
+        # separator at 10000000: shard 0 holds keys below, shard 1 above
+        pol = RangeSharding(2, [BitString(0x80, 8)])
+        cluster = PIMCluster(
+            pol, replication=1, modules_per_rack=harness.CLUSTER_P_RACK,
+            root_seed=1,
+        )
+        # interleave around the boundary so a shard-order concat would
+        # be out of order: lows on shard 0, highs on shard 1
+        keys = [BitString(v, 8) for v in
+                (0x10, 0x42, 0x7E, 0x7F, 0x81, 0x90, 0xC3, 0xF0)]
+        cluster.insert_batch(keys, [f"v{v:02x}" for v in
+                                    (0x10, 0x42, 0x7E, 0x7F, 0x81, 0x90,
+                                     0xC3, 0xF0)])
+        assert cluster.policy.home(keys[0]) != cluster.policy.home(keys[-1])
+        return cluster, sorted(keys)
+
+    def test_straddling_range_is_globally_ordered(self):
+        from repro import BitString
+
+        cluster, keys = self._boundary_cluster()
+        lo, hi = BitString(0x40, 8), BitString(0xD0, 8)
+        want = [k for k in keys if lo <= k <= hi]
+        got = cluster.range_batch([(lo, hi)])[0]
+        assert [k for k, _ in got] == want  # global key order, both shards
+
+    @pytest.mark.parametrize("limit", (1, 2, 3, 4, 5))
+    def test_straddling_range_honors_limit_exactly(self, limit):
+        from repro import BitString
+
+        cluster, keys = self._boundary_cluster()
+        lo, hi = BitString(0x40, 8), BitString(0xD0, 8)
+        want = [k for k in keys if lo <= k <= hi][:limit]
+        got = cluster.range_batch([(lo, hi)], limit=limit)[0]
+        # exactly min(limit, matches) items, the globally smallest ones —
+        # NOT shard 1's keys ahead of shard 0's, NOT limit-per-shard
+        assert [k for k, _ in got] == want
+
+    def test_boundary_topk_merges_across_shards(self):
+        from repro import BitString
+
+        cluster, keys = self._boundary_cluster()
+        # the 1-bit prefixes each straddle nothing, the empty-side
+        # prefix 0b1 spans the separator side; top-k over prefix "1"
+        p = BitString(1, 1)
+        want = sorted(k for k in keys if k.starts_with(p))[:3]
+        got = cluster.topk_batch([p], 3)[0]
+        assert [k for k, _ in got] == want

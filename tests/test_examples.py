@@ -26,6 +26,21 @@ def test_example_runs(script, capsys):
     assert len(out) > 100
 
 
+def test_ip_routing_lpm_consistency(capsys):
+    """The predecessor-chain LPM must self-verify against the host
+    walk-down reference, and the chain must be width-bounded (the
+    lcp-jump refinement, not one key per round)."""
+    runpy.run_path(
+        str(next(p for p in EXAMPLES if p.stem == "ip_routing")),
+        run_name="__main__",
+    )
+    out = capsys.readouterr().out
+    assert "consistent with host reference: True" in out
+    assert "matched routes" in out
+    chain = int(out.split("(")[1].split(" predecessor-chain")[0])
+    assert 0 < chain <= 32
+
+
 def test_quickstart_output_content(capsys):
     runpy.run_path(
         str(next(p for p in EXAMPLES if p.stem == "quickstart")),

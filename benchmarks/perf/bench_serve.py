@@ -6,10 +6,12 @@ continuous-batching service layer (`repro.serve`) and writes
 rounds), throughput, IO rounds per op, batch occupancy, queue depth,
 and the PIM Model metrics with per-module balance arrays — plus the
 measured batching trade-off (a larger max-wait deadline buys IO-round
-amortization at the cost of tail latency).  All logic lives in
+amortization at the cost of tail latency), the pipelined-vs-sequential
+comparison (digest-identical answers, makespan/p99 gains), and the
+adaptive-vs-fixed Pareto cells.  All logic lives in
 :mod:`repro.serve.bench`:
 
-    PYTHONPATH=src python benchmarks/perf/bench_serve.py [--smoke]
+    PYTHONPATH=src python benchmarks/perf/bench_serve.py [--smoke] [--check-floor]
 
 Not a pytest module: it defines no test functions and only runs under
 ``__main__``.
@@ -22,7 +24,7 @@ import sys
 
 
 def main(argv: list[str] | None = None) -> int:
-    from repro.serve.bench import run_bench_serve
+    from repro.serve.bench import check_floor_serve, run_bench_serve
 
     parser = argparse.ArgumentParser(
         prog="bench_serve",
@@ -33,10 +35,24 @@ def main(argv: list[str] | None = None) -> int:
                         help="CI-sized subset (~seconds)")
     parser.add_argument("--out", default="BENCH_serve.json",
                         help="output JSON path (default: %(default)s)")
+    parser.add_argument("--check-floor", action="store_true",
+                        help="fail unless the batching trade-off, the "
+                        "pipelined digest parity, and the adaptive "
+                        "Pareto-frontier floors all hold")
     args = parser.parse_args(argv)
     report = run_bench_serve(out=args.out, smoke=args.smoke)
     ok = report["tradeoff_shown_everywhere"]
     print(f"batching trade-off shown on every (rate, skew): {ok}")
+    print(
+        "pipelined answers match sequential everywhere: "
+        f"{report['pipeline_answers_match_everywhere']}"
+    )
+    print(
+        "adaptive on the Pareto frontier everywhere: "
+        f"{report['adaptive_on_frontier_everywhere']}"
+    )
+    if args.check_floor:
+        return check_floor_serve(report)
     return 0 if ok else 1
 
 

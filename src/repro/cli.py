@@ -181,8 +181,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
     policy = policy_from_name(
         args.policy, max_batch=args.max_batch,
         queue_capacity=args.queue_capacity,
+        degraded_capacity=args.degraded_capacity,
     )
-    server = EpochServer(trie, policy)
+    server = EpochServer(
+        trie, policy, pipelined=args.pipelined,
+        prep_time=args.prep_time, asm_time=args.asm_time,
+    )
     report = server.run(trace)
     print(f"serve — continuous batching over PIM-trie (P={P}, "
           f"{resident} resident keys, {n_ops} ops)\n")
@@ -462,10 +466,22 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--skew", choices=("uniform", "zipf", "flood"),
                    default="uniform")
     p.add_argument("--policy", default="deadline:20",
-                   help="eager | deadline:<max_wait> | affinity[:<max_wait>]")
+                   help="eager | deadline:<max_wait> | affinity[:<max_wait>] "
+                        "| adaptive[:<target_p99>]; append @deg=<n> for a "
+                        "degraded-mode queue bound")
     p.add_argument("--max-batch", type=int, default=256)
     p.add_argument("--queue-capacity", type=int, default=None,
                    help="bounded admission (rejects arrivals when full)")
+    p.add_argument("--degraded-capacity", type=int, default=None,
+                   help="tighter queue bound while the system is degraded "
+                        "(same as the @deg=<n> policy suffix)")
+    p.add_argument("--pipelined", action="store_true",
+                   help="overlap host prep of epoch k+1 with module "
+                        "rounds of epoch k (answers stay byte-identical)")
+    p.add_argument("--prep-time", type=float, default=0.0,
+                   help="host prep cost per op (simulated units)")
+    p.add_argument("--asm-time", type=float, default=0.0,
+                   help="host reply-assembly cost per op (simulated units)")
     p.add_argument("--seed", type=int, default=7)
     p = sub.add_parser(
         "faults",

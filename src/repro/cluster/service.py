@@ -37,7 +37,12 @@ from typing import Any, Optional
 
 from ..pim import MetricsSnapshot
 from ..serve.scheduler import ContinuousBatchingScheduler, SchedulerPolicy
-from ..serve.server import segments
+from ..serve.server import (
+    ORDERED_KINDS,
+    WRITE_KINDS,
+    decide_cut,
+    segments,
+)
 from ..serve.slo import OP_FAILED, CompletedOp, EpochRecord, ServiceReport
 from ..serve.trace import Operation, Trace
 from .cluster import PIMCluster
@@ -58,13 +63,24 @@ class ClusterService:
         word_time: float = 0.001,
         plan: Optional[RackLossPlan] = None,
         adapt: Optional[Any] = None,
+        pipelined: bool = False,
+        prep_time: float = 0.0,
+        asm_time: float = 0.0,
     ):
         if round_time < 0 or word_time < 0:
             raise ValueError("service-model coefficients must be >= 0")
+        if prep_time < 0 or asm_time < 0:
+            raise ValueError("host-phase costs must be >= 0")
         self.cluster = cluster
         self.policy = policy
         self.round_time = round_time
         self.word_time = word_time
+        #: two-stage pipelined BSP on the router's host: prep of epoch
+        #: k+1 overlaps the racks' rounds of epoch k, with the same
+        #: write/recovery drain-hazard rule as EpochServer
+        self.pipelined = pipelined
+        self.prep_time = prep_time
+        self.asm_time = asm_time
         self.plan = plan if plan is not None else RackLossPlan.empty()
         #: optional repro.adapt ClusterAdaptiveController stepped once
         #: per epoch (per-rack sketches; see adapt.controller)
@@ -146,46 +162,39 @@ class ClusterService:
         cum_wall = 0.0
         failed_total = 0
         losses_fired = 0
-        free_at = 0.0
-        i = 0
+        host_free = 0.0
+        module_free = 0.0
+        hazard_until = 0.0
+        idx = [0]
         mark_all = cluster.mark()
 
         def admit(op: Operation) -> None:
-            nonlocal i
             if sched.admit(op, degraded=cluster.degraded):
                 rounds_at_admit[op.seq] = cum_rounds
                 wall_at_admit[op.seq] = cum_wall
-            i += 1
+            idx[0] += 1
 
-        while i < n or sched.pending:
+        while idx[0] < n or sched.pending:
             if not sched.pending:
-                admit(ops[i])
+                admit(ops[idx[0]])
                 continue
 
-            # launch-time decision: identical to EpochServer (the
-            # scheduler contract is shared, only the executor differs)
-            head_t = sched.head_arrival()
-            earliest = max(free_at, head_t)
-            deadline = head_t + policy.max_wait
-            while True:
-                if sched.full():
-                    launch = max(free_at, sched.fill_arrival())
-                    break
-                target = max(earliest, deadline)
-                if i < n and ops[i].time <= target:
-                    admit(ops[i])
-                    continue
-                if i < n:
-                    launch = target
-                else:
-                    launch = max(earliest, min(deadline, sched.pending[-1].time))
-                break
-            while i < n and ops[i].time <= launch:
-                admit(ops[i])
+            # launch-time decision: shared with EpochServer (the
+            # scheduler contract is one audited implementation, only
+            # the executor differs).  Same hazard rule as EpochServer:
+            # only a prep that reads index state (ordered-kind ops whose
+            # per-rack snapshots fan-in consults) waits for the drain
+            reads_state = self.pipelined and any(
+                op.kind in ORDERED_KINDS for op in sched.pending
+            )
+            ready = max(host_free, hazard_until) if reads_state else host_free
+            launch = decide_cut(sched, ops, idx, ready, admit)
 
             depth = len(sched.pending)
             batch = sched.take_epoch(launch)
             assert batch, "scheduler cut an empty epoch"
+            prep_dur = self.prep_time * len(batch)
+            asm_dur = self.asm_time * len(batch)
 
             e = len(epochs)
             pending = {
@@ -217,26 +226,51 @@ class ClusterService:
                 pending, set(range(cluster.num_shards)), causes
             )
             losses_fired += len(causes)
+            adapt_acted = False
             if self.adapt is not None:
                 # per-rack adaptive maintenance inside the epoch's
                 # metrics window — billed to the racks it rebalances
-                self.adapt.step()
+                stats = self.adapt.step()
+                if isinstance(stats, dict) and any(
+                    stats.get(k)
+                    for k in (
+                        "actions", "split", "replicate", "dereplicate",
+                        "merge",
+                    )
+                ):
+                    adapt_acted = True
 
             wall = _time.perf_counter() - t0
             deltas = cluster.delta_by_rack(mark)
             merged = MetricsSnapshot.merge(
                 *(deltas[u] for u in sorted(deltas))
             )
-            # racks run in parallel: the epoch takes as long as its
-            # slowest rack (recovery rebuilds included)
-            service = max(
+            # racks run in parallel: the epoch's module-round phase
+            # takes as long as its slowest rack (recovery included)
+            module = max(
                 (self._rack_service(d) for d in deltas.values()),
                 default=0.0,
             )
             ep_failed = sum(1 for r in replies if r is OP_FAILED)
             failed_total += ep_failed
-            completion = launch + service
-            free_at = completion
+            if self.pipelined:
+                rounds_start = max(launch + prep_dur, module_free)
+                completion = rounds_start + module + asm_dur
+                module_free = rounds_start + module
+                host_free = rounds_start
+                if (
+                    any(k in WRITE_KINDS for k in kinds)
+                    or causes or recovery_rounds or ep_failed or adapt_acted
+                ):
+                    # write/recovery hazard: a state-reading prep must
+                    # wait until this epoch's rounds end (cluster state
+                    # is final then; assembly only merges replies)
+                    hazard_until = module_free
+            else:
+                rounds_start = launch + prep_dur
+                completion = rounds_start + module + asm_dur
+                host_free = completion
+            service = completion - launch
             cum_rounds += merged.io_rounds
             cum_wall += wall
             epochs.append(
@@ -251,6 +285,7 @@ class ClusterService:
                     retries=0,
                     recovery_rounds=recovery_rounds,
                     causes=tuple(causes),
+                    prep=prep_dur, asm=asm_dur, rounds_start=rounds_start,
                 )
             )
             for op, reply in zip(batch, replies):
@@ -288,6 +323,9 @@ class ClusterService:
             round_time=self.round_time,
             word_time=self.word_time,
             max_batch=policy.max_batch,
+            pipelined=self.pipelined,
+            prep_time=self.prep_time,
+            asm_time=self.asm_time,
             failed=failed_total,
             faults=fault_stats,
             extra={

@@ -96,6 +96,7 @@ def _bench_rack_loss(
     length: int,
     rate: float,
     seed: int,
+    policy: str = POLICY,
 ) -> dict[str, Any]:
     """The whole-rack crash + recovery scenario: one rack of a
     2-shard, K=2 cluster dies mid-epoch (the ``one-rack`` schedule E17
@@ -119,7 +120,7 @@ def _bench_rack_loss(
         modules_per_rack=P, root_seed=seed, keys=keys, values=keys,
     )
     service = ClusterService(
-        cluster, policy_from_name(POLICY), plan=plan
+        cluster, policy_from_name(policy), plan=plan
     )
     report = service.run(trace)
 
@@ -162,12 +163,18 @@ def bench_scenario(
     length: int,
     rate: float,
     seed: int = 7,
+    policy: str = POLICY,
 ) -> dict[str, Any]:
-    """Run one fault scenario; returns its JSON record."""
+    """Run one fault scenario; returns its JSON record.
+
+    ``policy`` is any :func:`repro.serve.policy_from_name` spec — e.g.
+    ``"deadline:20@deg=8"`` to exercise degraded-mode admission while
+    the scenario's faults are live.
+    """
     if name == "rack-loss":
         return _bench_rack_loss(
             P=P, resident=resident, n_ops=n_ops, length=length,
-            rate=rate, seed=seed,
+            rate=rate, seed=seed, policy=policy,
         )
 
     def fresh() -> tuple[PIMSystem, PIMTrie]:
@@ -185,7 +192,7 @@ def bench_scenario(
     system, trie = fresh()
     plan = _scenario_plan(name, P)
     system.install_faults(plan)
-    server = EpochServer(trie, policy_from_name(POLICY))
+    server = EpochServer(trie, policy_from_name(policy))
     report = server.run(trace)
 
     # ground truth: the same trace applied sequentially, fault-free
@@ -220,17 +227,19 @@ def run_bench_faults(
     *,
     smoke: bool = False,
     seed: int = 7,
+    policy: str = POLICY,
 ) -> dict[str, Any]:
     """Run every scenario; writes ``out`` and returns the report dict."""
     cfg = dict(SMOKE if smoke else FULL)
     rows = [
-        bench_scenario(name, seed=seed, **cfg) for name in SCENARIOS
+        bench_scenario(name, seed=seed, policy=policy, **cfg)
+        for name in SCENARIOS
     ]
     baseline = next(r for r in rows if r["scenario"] == "none")
     report = {
         "bench": "faults",
         "profile": "smoke" if smoke else "full",
-        "config": {**cfg, "policy": POLICY, "seed": seed},
+        "config": {**cfg, "policy": policy, "seed": seed},
         "scenarios": rows,
         "headline": {
             "all_correct": all(r["answers_match_replay"] for r in rows),

@@ -9,7 +9,15 @@ Tracing is off by default (``system.obs is None``) and the disabled
 path is a true no-op.  See ``python -m repro trace`` for the CLI.
 """
 
-from .export import chrome_trace, format_rollup, rollup, validate_chrome_trace
+from .export import (
+    chrome_trace,
+    format_rollup,
+    phase_self_times,
+    rollup,
+    rollup_index,
+    sched_decisions,
+    validate_chrome_trace,
+)
 from .tracer import METRIC_FIELDS, Span, Tracer, maybe_span, root_metric_sums
 
 __all__ = [
@@ -21,5 +29,8 @@ __all__ = [
     "chrome_trace",
     "validate_chrome_trace",
     "rollup",
+    "rollup_index",
+    "phase_self_times",
+    "sched_decisions",
     "format_rollup",
 ]

@@ -24,6 +24,9 @@ __all__ = [
     "chrome_trace",
     "validate_chrome_trace",
     "rollup",
+    "rollup_index",
+    "phase_self_times",
+    "sched_decisions",
     "format_rollup",
 ]
 
@@ -140,6 +143,56 @@ def rollup(tracer_or_spans: Any) -> list[dict]:
             row[f] += v
             row[f"self_{f}"] += v - (sub[i] if sub is not None else 0)
     return sorted(rows.values(), key=lambda r: -r["wall_s"])
+
+
+def rollup_index(rows_or_tracer: Any) -> dict[tuple[str, str], dict]:
+    """Rollup rows keyed by ``(name, cat)`` for point lookups.
+
+    Accepts either the output of :func:`rollup` or a tracer/span list
+    (which is rolled up first).
+    """
+    rows = (
+        rows_or_tracer
+        if isinstance(rows_or_tracer, list)
+        and (not rows_or_tracer or isinstance(rows_or_tracer[0], dict))
+        else rollup(rows_or_tracer)
+    )
+    return {(r["name"], r["cat"]): r for r in rows}
+
+
+def phase_self_times(tracer_or_spans: Any) -> dict[str, dict]:
+    """Per-phase *self* profile of the serve epoch pipeline.
+
+    Returns ``{phase_name: row}`` for the ``cat == "phase"`` spans the
+    epoch server emits (``epoch.prep`` / ``epoch.rounds`` /
+    ``epoch.assemble``), each row being the rollup entry — ``count``,
+    ``wall_s``, inclusive and ``self_*`` metric sums.  This is the
+    observability view of the quantities the adaptive scheduler's
+    controller consumes (the controller itself is fed the simulated
+    values directly, so runs stay byte-identical without a tracer).
+    """
+    return {
+        name: row
+        for (name, cat), row in rollup_index(tracer_or_spans).items()
+        if cat == "phase"
+    }
+
+
+def sched_decisions(tracer_or_spans: Any) -> list[dict]:
+    """The adaptive scheduler's ``sched.*`` decision markers, in order.
+
+    Each entry is ``{"action", "epoch", "max_wait", "max_batch"}`` from
+    the zero-delta spans the server emits when the closed-loop
+    controller commits a knob change.
+    """
+    spans: Sequence[Span] = getattr(tracer_or_spans, "spans", tracer_or_spans)
+    out: list[dict] = []
+    for s in spans:
+        if s.cat == "sched" and s.name.startswith("sched."):
+            out.append(
+                {"action": s.name.partition(".")[2], **s.args}
+            )
+    return out
 
 
 def format_rollup(rows: Iterable[dict]) -> str:

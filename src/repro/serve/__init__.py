@@ -14,8 +14,14 @@ Entry points: ``python -m repro serve [--smoke]`` and
 ``benchmarks/perf/bench_serve.py`` (→ ``BENCH_serve.json``).
 """
 
-from .scheduler import ContinuousBatchingScheduler, SchedulerPolicy, policy_from_name
-from .server import EpochServer, replay_direct
+from .scheduler import (
+    AdaptiveController,
+    ContinuousBatchingScheduler,
+    SchedDecision,
+    SchedulerPolicy,
+    policy_from_name,
+)
+from .server import EpochServer, decide_cut, replay_direct
 from .slo import (
     OP_FAILED,
     CompletedOp,
@@ -27,10 +33,13 @@ from .slo import (
 from .trace import Operation, Trace, make_trace, trace_from_stream
 
 __all__ = [
+    "AdaptiveController",
     "ContinuousBatchingScheduler",
+    "SchedDecision",
     "SchedulerPolicy",
     "policy_from_name",
     "EpochServer",
+    "decide_cut",
     "replay_direct",
     "OP_FAILED",
     "CompletedOp",

@@ -23,7 +23,16 @@ pluggable batching policy:
   an interrupted structural rebuild), admission uses this tighter queue
   bound instead of ``queue_capacity``, shedding load so the backlog
   stays small while capacity is reduced.  ``None`` (default) disables
-  the distinction.
+  the distinction;
+* **adaptive** — closed-loop control: instead of fixed knobs, an
+  :class:`AdaptiveController` re-tunes ``max_wait`` / ``max_batch``
+  between epochs from the server's per-phase observations, steering the
+  op-latency p99 toward ``target_p99`` while harvesting IO-round
+  amortization whenever the tail has slack (the continuous-batching
+  discipline of iteration-level inference schedulers).  The policy's
+  ``max_wait`` / ``max_batch`` are the controller's *initial* knobs;
+  the live values live on the scheduler (``sched.max_wait`` /
+  ``sched.max_batch``).
 
 The time-advancing event loop itself lives in
 :class:`repro.serve.server.EpochServer`; this module is pure queue
@@ -33,12 +42,19 @@ logic so policies can be unit-tested without an index.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Optional
 
+from .slo import percentile
 from .trace import Operation
 
-__all__ = ["SchedulerPolicy", "ContinuousBatchingScheduler", "policy_from_name"]
+__all__ = [
+    "SchedulerPolicy",
+    "ContinuousBatchingScheduler",
+    "AdaptiveController",
+    "SchedDecision",
+    "policy_from_name",
+]
 
 
 @dataclass(frozen=True)
@@ -51,6 +67,10 @@ class SchedulerPolicy:
     affinity: bool = False
     queue_capacity: Optional[int] = None
     degraded_capacity: Optional[int] = None
+    #: closed-loop mode: the scheduler's live knobs are re-tuned each
+    #: epoch by an AdaptiveController chasing ``target_p99``
+    adaptive: bool = False
+    target_p99: float = 0.0
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
@@ -73,6 +93,10 @@ class SchedulerPolicy:
                     "degraded_capacity must not exceed queue_capacity "
                     "(degradation sheds load, it does not add headroom)"
                 )
+        if self.adaptive and self.target_p99 <= 0:
+            raise ValueError("adaptive policies need target_p99 > 0")
+        if not self.adaptive and self.target_p99:
+            raise ValueError("target_p99 only applies to adaptive policies")
 
     def describe(self) -> str:
         cap = "inf" if self.queue_capacity is None else str(self.queue_capacity)
@@ -81,11 +105,32 @@ class SchedulerPolicy:
             if self.degraded_capacity is None
             else f", degraded={self.degraded_capacity}"
         )
+        tgt = f", target_p99={self.target_p99:g}" if self.adaptive else ""
         return (
             f"{self.name}(max_batch={self.max_batch}, "
             f"max_wait={self.max_wait:g}, affinity={self.affinity}, "
-            f"capacity={cap}{deg})"
+            f"capacity={cap}{deg}{tgt})"
         )
+
+    def spec(self) -> str:
+        """The parseable policy spec this policy round-trips through.
+
+        ``policy_from_name(p.spec(), max_batch=p.max_batch,
+        queue_capacity=p.queue_capacity) == p`` for every policy the
+        parser can produce (``max_batch`` / ``queue_capacity`` are
+        keyword inputs, not part of the spec string).
+        """
+        if self.adaptive:
+            base = f"adaptive:{self.target_p99:g}"
+        elif self.affinity:
+            base = f"affinity:{self.max_wait:g}" if self.max_wait else "affinity"
+        elif self.max_wait:
+            base = f"deadline:{self.max_wait:g}"
+        else:
+            base = "eager"
+        if self.degraded_capacity is not None:
+            base += f"@deg={self.degraded_capacity}"
+        return base
 
 
 def policy_from_name(
@@ -93,39 +138,94 @@ def policy_from_name(
     *,
     max_batch: int = 256,
     queue_capacity: Optional[int] = None,
+    degraded_capacity: Optional[int] = None,
 ) -> SchedulerPolicy:
-    """Parse ``"eager"``, ``"deadline:<max_wait>"``, ``"affinity[:<max_wait>]"``."""
-    base, _, arg = spec.partition(":")
-    if base == "eager":
+    """Parse a scheduler policy spec.
+
+    Accepted forms: ``"eager"``, ``"deadline:<max_wait>"``,
+    ``"affinity[:<max_wait>]"``, ``"adaptive[:<target_p99>]"`` — each
+    optionally suffixed with ``"@deg=<n>"`` to set
+    ``degraded_capacity`` (the graceful-degradation admission bound),
+    e.g. ``"deadline:20@deg=8"``.  The ``degraded_capacity`` keyword is
+    the programmatic equivalent; the suffix wins if both are given.
+    """
+    base, _, suffix = spec.partition("@")
+    if suffix:
+        key, _, val = suffix.partition("=")
+        if key != "deg" or not val:
+            raise ValueError(
+                f"unknown policy suffix {suffix!r} (expected 'deg=<n>')"
+            )
+        degraded_capacity = int(val)
+    name, _, arg = base.partition(":")
+    kw: dict = {
+        "max_batch": max_batch,
+        "queue_capacity": queue_capacity,
+        "degraded_capacity": degraded_capacity,
+    }
+    if name == "eager":
         if arg:
             raise ValueError("eager takes no argument")
-        return SchedulerPolicy(
-            "eager", max_batch=max_batch, queue_capacity=queue_capacity
-        )
-    if base == "deadline":
+        return SchedulerPolicy("eager", **kw)
+    if name == "deadline":
         wait = float(arg) if arg else 1.0
         return SchedulerPolicy(
-            f"deadline:{wait:g}", max_batch=max_batch, max_wait=wait,
-            queue_capacity=queue_capacity,
+            f"deadline:{wait:g}", max_wait=wait, **kw
         )
-    if base == "affinity":
+    if name == "affinity":
         wait = float(arg) if arg else 0.0
-        name = f"affinity:{wait:g}" if arg else "affinity"
         return SchedulerPolicy(
-            name, max_batch=max_batch, max_wait=wait, affinity=True,
-            queue_capacity=queue_capacity,
+            f"affinity:{wait:g}" if arg else "affinity",
+            max_wait=wait, affinity=True, **kw
+        )
+    if name == "adaptive":
+        target = float(arg) if arg else 50.0
+        # affinity grouping rides along: homogeneous epochs are
+        # strictly cheaper on the trie (same rounds/op at lower tail),
+        # so the controller tunes (max_wait, max_batch) on top of the
+        # best fixed cutting rule.  Initial deadline = target/2 — under
+        # the target from the first epoch, converging from below.
+        return SchedulerPolicy(
+            f"adaptive:{target:g}", adaptive=True, target_p99=target,
+            affinity=True, max_wait=target / 2, **kw
         )
     raise ValueError(f"unknown policy {spec!r}")
 
 
 class ContinuousBatchingScheduler:
-    """The pending queue plus the policy's admission and cutting rules."""
+    """The pending queue plus the policy's admission and cutting rules.
+
+    ``max_batch`` / ``max_wait`` are the *live* knobs the event loop
+    consults; they start at the policy's values and stay there for
+    fixed policies.  Under an adaptive policy the controller re-tunes
+    them between epochs via :meth:`set_knobs`.
+    """
 
     def __init__(self, policy: SchedulerPolicy):
         self.policy = policy
+        self.max_batch = policy.max_batch
+        self.max_wait = policy.max_wait
         self.pending: deque[Operation] = deque()
         self.dropped: list[Operation] = []
         self.admitted = 0
+
+    # ------------------------------------------------------------------
+    # knob control (adaptive policies)
+    # ------------------------------------------------------------------
+    def set_knobs(
+        self,
+        *,
+        max_wait: Optional[float] = None,
+        max_batch: Optional[int] = None,
+    ) -> None:
+        """Re-tune the live knobs (clamped to the policy's invariants)."""
+        if max_wait is not None:
+            self.max_wait = max(0.0, max_wait)
+        if max_batch is not None:
+            mb = max(1, max_batch)
+            if self.policy.queue_capacity is not None:
+                mb = min(mb, self.policy.queue_capacity)
+            self.max_batch = mb
 
     # ------------------------------------------------------------------
     # admission control
@@ -156,7 +256,7 @@ class ContinuousBatchingScheduler:
         return self.pending[0].time
 
     def full(self) -> bool:
-        return len(self.pending) >= self.policy.max_batch
+        return len(self.pending) >= self.max_batch
 
     def fill_arrival(self) -> float:
         """Arrival time of the op that completed the current batch.
@@ -164,7 +264,7 @@ class ContinuousBatchingScheduler:
         The queue is arrival-ordered, so this is the earliest moment the
         batch-size trigger can fire.
         """
-        return self.pending[self.policy.max_batch - 1].time
+        return self.pending[self.max_batch - 1].time
 
     # ------------------------------------------------------------------
     # epoch cutting
@@ -179,7 +279,7 @@ class ContinuousBatchingScheduler:
         p = self.policy
         out: list[Operation] = []
         kind = self.pending[0].kind if self.pending else None
-        while self.pending and len(out) < p.max_batch:
+        while self.pending and len(out) < self.max_batch:
             head = self.pending[0]
             if head.time > now:
                 break
@@ -187,3 +287,187 @@ class ContinuousBatchingScheduler:
                 break
             out.append(self.pending.popleft())
         return out
+
+
+# ----------------------------------------------------------------------
+# closed-loop control
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SchedDecision:
+    """One knob change the adaptive controller committed."""
+
+    epoch: int
+    action: str  # "tighten" | "relax" | "widen"
+    max_wait: float
+    max_batch: int
+    p99: float  # windowed op-latency p99 that triggered the decision
+    rounds_per_op: float  # rounds/op EMA at decision time
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+
+class AdaptiveController:
+    """Closed-loop deadline/batch tuner for ``adaptive:<target_p99>``.
+
+    Fed one observation per epoch — the cut time, queue depth at the
+    cut, the epoch's per-phase times on the simulated clock (host prep,
+    module rounds, reply assembly: the same quantities the
+    ``epoch.prep`` / ``epoch.rounds`` / ``epoch.assemble`` spans carry,
+    see ``repro.obs.phase_self_times``), the IO rounds consumed, and
+    the latencies of the ops it completed — the controller steers the
+    windowed op-latency p99 toward ``target_p99`` with two coupled
+    knobs:
+
+    * **deadline feedback** — p99 above target for ``patience``
+      consecutive epochs → *tighten* (``max_wait`` × 0.6); p99 below
+      ``low_fraction * target`` for ``patience`` epochs → *relax*
+      (``max_wait`` × 1.5, floored at a few per-op service times so the
+      first relaxation already coalesces real work, capped at
+      2 × target — waiting past the target cannot keep p99 under it).
+      Every committed decision is followed by ``cooldown`` quiet epochs
+      (hysteresis: the window must re-fill with post-decision latencies
+      before the controller trusts its signal again).
+    * **size-trigger slaving** — each epoch, ``max_batch`` is re-slaved
+      to ``arrival_rate_ema × max_wait`` (clamped): the batch the
+      arrival stream fills in about one deadline.  This converts the
+      deadline policy into a fill-or-deadline trigger, which is what
+      harvests variance: a burst fills the batch early and launches
+      with low waiting, a lull falls back to the deadline — the same
+      rounds/op at a lower tail than any pure deadline.
+
+    All inputs are simulated-clock quantities the server computes
+    itself, so runs are deterministic and identical with or without a
+    tracer attached.
+    """
+
+    def __init__(
+        self,
+        policy: SchedulerPolicy,
+        sched: ContinuousBatchingScheduler,
+        *,
+        window: int = 64,
+        patience: int = 2,
+        cooldown: int = 2,
+        tighten_factor: float = 0.6,
+        relax_factor: float = 1.5,
+        low_fraction: float = 0.75,
+        ema_alpha: float = 0.2,
+    ):
+        if not policy.adaptive:
+            raise ValueError("AdaptiveController needs an adaptive policy")
+        self.policy = policy
+        self.sched = sched
+        self.target = policy.target_p99
+        self.wait_cap = 2.0 * self.target
+        self.window = window
+        self.patience = patience
+        self.cooldown = cooldown
+        self.tighten_factor = tighten_factor
+        self.relax_factor = relax_factor
+        self.low_fraction = low_fraction
+        self.ema_alpha = ema_alpha
+        self._lat: deque[float] = deque(maxlen=window)
+        self.arrival_rate_ema: Optional[float] = None
+        self.rounds_per_op_ema: Optional[float] = None
+        self.service_per_op_ema: Optional[float] = None
+        self._last_cut: Optional[float] = None
+        self._high = 0
+        self._low = 0
+        self._quiet = 0
+        self.decisions: list[SchedDecision] = []
+
+    # ------------------------------------------------------------------
+    def _ema(self, old: Optional[float], new: float) -> float:
+        a = self.ema_alpha
+        return new if old is None else a * new + (1 - a) * old
+
+    def _slave_batch(self) -> None:
+        """Re-slave the size trigger to the deadline (see class doc)."""
+        lam = self.arrival_rate_ema
+        if lam is None or lam <= 0:
+            return
+        mb = max(2, round(lam * max(self.sched.max_wait, 1.0)))
+        self.sched.set_knobs(max_batch=min(mb, self.policy.max_batch))
+
+    def observe(
+        self,
+        *,
+        epoch: int,
+        cut: float,
+        queue_depth: int,
+        size: int,
+        io_rounds: int,
+        latencies: list,
+        prep: float = 0.0,
+        rounds: float = 0.0,
+        asm: float = 0.0,
+    ) -> Optional[SchedDecision]:
+        """Digest one epoch; returns the committed decision, if any."""
+        self._lat.extend(latencies)
+        if self._last_cut is not None and cut > self._last_cut:
+            self.arrival_rate_ema = self._ema(
+                self.arrival_rate_ema, size / (cut - self._last_cut)
+            )
+        self._last_cut = cut
+        if size > 0:
+            self.rounds_per_op_ema = self._ema(
+                self.rounds_per_op_ema, io_rounds / size
+            )
+            self.service_per_op_ema = self._ema(
+                self.service_per_op_ema, (prep + rounds + asm) / size
+            )
+        self._slave_batch()
+        if self._quiet > 0:
+            self._quiet -= 1
+            return None
+        p99 = percentile(list(self._lat), 99)
+        if p99 > self.target:
+            self._high += 1
+            self._low = 0
+        elif p99 < self.low_fraction * self.target:
+            self._low += 1
+            self._high = 0
+        else:
+            self._high = self._low = 0
+
+        action = None
+        if self._high >= self.patience:
+            self.sched.set_knobs(
+                max_wait=self.sched.max_wait * self.tighten_factor
+            )
+            action = "tighten"
+        elif self._low >= self.patience:
+            # floor: a deadline shorter than a few per-op service times
+            # cannot coalesce anything worth waiting for
+            floor = 4.0 * (self.service_per_op_ema or 1.0)
+            wait = max(floor, self.sched.max_wait * self.relax_factor)
+            self.sched.set_knobs(max_wait=min(self.wait_cap, wait))
+            action = "relax"
+        if action is None:
+            return None
+        self._slave_batch()
+        self._high = self._low = 0
+        self._quiet = self.cooldown
+        d = SchedDecision(
+            epoch=epoch,
+            action=action,
+            max_wait=self.sched.max_wait,
+            max_batch=self.sched.max_batch,
+            p99=p99,
+            rounds_per_op=self.rounds_per_op_ema or 0.0,
+        )
+        self.decisions.append(d)
+        return d
+
+    # ------------------------------------------------------------------
+    def summary(self) -> dict:
+        """Report block for ``ServiceReport.extra['sched']``."""
+        return {
+            "target_p99": self.target,
+            "decisions": [d.as_dict() for d in self.decisions],
+            "final_max_wait": self.sched.max_wait,
+            "final_max_batch": self.sched.max_batch,
+            "arrival_rate_ema": self.arrival_rate_ema,
+            "rounds_per_op_ema": self.rounds_per_op_ema,
+        }

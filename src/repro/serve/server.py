@@ -13,16 +13,36 @@ through the server produces exactly the answers of applying the same
 ops directly to a ``PIMTrie`` in arrival order
 (:func:`replay_direct` is that reference implementation).
 
-**Service model.**  The simulated service time of an epoch is derived
-from the PIM Model metrics it actually consumed:
+**Service model.**  Epoch work splits into *phases*.  The module-round
+phase is derived from the PIM Model metrics the epoch actually
+consumed:
 
-    ``service = round_time * io_rounds + word_time * io_time``
+    ``module = round_time * io_rounds + word_time * io_time``
 
 i.e. a fixed per-round overhead (CPU↔PIM latency) plus a per-word
-transfer cost on the round's critical path.  The defaults (1.0, 0.001)
-make the per-round term dominant at small batches — precisely the
-regime where coalescing more ops per epoch amortizes rounds, which is
-the trade-off the batching policies navigate.
+transfer cost on the round's critical path.  The host-CPU phases —
+*prep* (segment grouping, arena setup, ordered-snapshot prewarm) and
+*assemble* (reply demultiplexing) — cost ``prep_time`` / ``asm_time``
+simulated units per op.  The defaults (1.0, 0.001, 0, 0) make the
+per-round term dominant at small batches — precisely the regime where
+coalescing more ops per epoch amortizes rounds, which is the trade-off
+the batching policies navigate.
+
+**Pipelined BSP** (``pipelined=True``).  Sequentially, an epoch runs
+cut → prep → rounds → assemble before the next cut.  Pipelined, the
+host and the modules are separate resources on the simulated clock: the
+host preps epoch k+1 while the modules crunch epoch k's rounds (the
+classic two-stage pipeline, depth one per stage — epoch k leaves the
+host stage the moment the modules accept it, which is when the host may
+cut k+1).  Reply assembly is carried by the reply path and charged to
+completion latency only.  The **hazard rule**: prep reads trie state
+(it groups against, and prewarms snapshots of, the current index), so
+an epoch that *mutates* the trie — writes, fault recovery, adaptive
+maintenance — drains the pipeline: the next cut waits for its full
+completion.  Read-only epochs overlap freely, because state before and
+after them is identical.  Epoch *composition* may therefore differ from
+the sequential schedule, but every schedule cuts arrival-order
+prefixes, so replies stay byte-identical to :func:`replay_direct`.
 
 Replies are demultiplexed back to per-op :class:`CompletedOp` records
 stamped with launch/completion times and three latency readings
@@ -45,17 +65,32 @@ system: the fault path adds one attribute check per epoch.
 from __future__ import annotations
 
 import time as _time
-from typing import Any, Optional, Sequence
+from typing import Any, Callable, Optional, Sequence
 
 from ..core import PIMTrie
 from ..faults import RoundAborted, recover
 from ..obs.tracer import maybe_span
 from ..pim import MetricsSnapshot
-from .scheduler import ContinuousBatchingScheduler, SchedulerPolicy
+from .scheduler import (
+    AdaptiveController,
+    ContinuousBatchingScheduler,
+    SchedulerPolicy,
+)
 from .slo import OP_FAILED, CompletedOp, EpochRecord, ServiceReport
 from .trace import Operation, Trace
 
-__all__ = ["EpochServer", "execute_segment", "replay_direct", "segments"]
+__all__ = [
+    "EpochServer",
+    "decide_cut",
+    "execute_segment",
+    "replay_direct",
+    "segments",
+]
+
+#: op kinds that mutate trie state (their epochs drain the pipeline)
+WRITE_KINDS = frozenset(("insert", "delete"))
+#: op kinds answered from the host-side ordered snapshot (prewarmable)
+ORDERED_KINDS = frozenset(("pred", "succ", "range", "count", "topk"))
 
 
 def segments(batch: Sequence[Operation]) -> list[tuple[str, list[Operation]]]:
@@ -121,6 +156,58 @@ def execute_segment(trie: Any, kind: str, ops: list[Operation]) -> list[Any]:
     raise ValueError(f"unknown op kind {kind!r}")
 
 
+def decide_cut(
+    sched: ContinuousBatchingScheduler,
+    ops: Sequence[Operation],
+    idx: list[int],
+    ready: float,
+    admit: Callable[[Operation], None],
+) -> float:
+    """Pick the next epoch's cut time; admit the arrivals preceding it.
+
+    Shared by :class:`EpochServer` and ``repro.cluster.ClusterService``
+    so both event loops implement one audited admission boundary.
+    ``idx`` is a one-element list holding the next-unprocessed-arrival
+    index (``admit`` advances it); ``ready`` is the earliest time this
+    executor could start an epoch (previous completion when sequential,
+    pipeline-stage availability when pipelined).
+
+    Admission is *lazy* — arrivals are pulled from the trace only as
+    the decision needs them — but the boundary is exact: every arrival
+    with ``time <= cut`` is admitted (in arrival order, so admission
+    control sees the queue exactly as a client would) before the cut
+    extracts the batch, and none after.  An arrival at exactly the cut
+    instant is therefore admitted, matching an eager reference loop that
+    processes events in timestamp order with arrivals first at ties
+    (see tests/test_serve_admission.py).
+    """
+    n = len(ops)
+    head_t = sched.head_arrival()
+    earliest = max(ready, head_t)
+    deadline = head_t + sched.max_wait
+    while True:
+        if sched.full():
+            cut = max(ready, sched.fill_arrival())
+            break
+        target = max(earliest, deadline)
+        if idx[0] < n and ops[idx[0]].time <= target:
+            admit(ops[idx[0]])
+            continue
+        if idx[0] < n:
+            # no further arrival lands before the deadline
+            cut = target
+        else:
+            # stream exhausted: the queue may still hold ops with
+            # future arrival times (admission is lazy), so honor the
+            # deadline — but waiting past the last queued arrival buys
+            # nothing
+            cut = max(earliest, min(deadline, sched.pending[-1].time))
+        break
+    while idx[0] < n and ops[idx[0]].time <= cut:
+        admit(ops[idx[0]])
+    return cut
+
+
 class EpochServer:
     """Continuous-batching service frontend over one :class:`PIMTrie`."""
 
@@ -134,11 +221,16 @@ class EpochServer:
         max_retries: int = 4,
         retry_backoff: float = 0.5,
         adapt: Optional[Any] = None,
+        pipelined: bool = False,
+        prep_time: float = 0.0,
+        asm_time: float = 0.0,
     ):
         if round_time < 0 or word_time < 0:
             raise ValueError("service-model coefficients must be >= 0")
         if max_retries < 0 or retry_backoff < 0:
             raise ValueError("retry parameters must be >= 0")
+        if prep_time < 0 or asm_time < 0:
+            raise ValueError("host-phase costs must be >= 0")
         self.trie = trie
         self.system = trie.system
         self.policy = policy
@@ -146,6 +238,9 @@ class EpochServer:
         self.word_time = word_time
         self.max_retries = max_retries
         self.retry_backoff = retry_backoff
+        self.pipelined = pipelined
+        self.prep_time = prep_time
+        self.asm_time = asm_time
         #: optional repro.adapt AdaptiveController stepped once per
         #: epoch (after the segments run, inside the epoch's metrics
         #: window, so maintenance rounds are billed to the epoch that
@@ -154,7 +249,7 @@ class EpochServer:
 
     # ------------------------------------------------------------------
     def service_time(self, delta: MetricsSnapshot) -> float:
-        """Simulated duration of an epoch from its PIM metrics delta."""
+        """Simulated module-round duration of an epoch's metrics delta."""
         return self.round_time * delta.io_rounds + self.word_time * delta.io_time
 
     # ------------------------------------------------------------------
@@ -165,6 +260,22 @@ class EpochServer:
             (inj is not None and inj.crashed)
             or getattr(self.trie, "_dirty_structure", False)
         )
+
+    def _prewarm(self, batch: list[Operation]) -> None:
+        """Host-prep: build the ordered snapshot ahead of the rounds.
+
+        Only for batches with ordered reads and **no writes** — then the
+        snapshot the first ordered segment would have built mid-epoch is
+        built in prep instead, against the identical trie state, so the
+        epoch's metrics delta is unchanged (the build is version-cached
+        and charged exactly once either way).
+        """
+        if any(op.kind in WRITE_KINDS for op in batch):
+            return
+        if any(op.kind in ORDERED_KINDS for op in batch):
+            snap = getattr(self.trie, "ordered_snapshot", None)
+            if snap is not None:
+                snap()
 
     def _run_segment(
         self, kind: str, ops: list[Operation], ep: dict
@@ -204,6 +315,9 @@ class EpochServer:
         n = len(ops)
         policy = self.policy
         sched = ContinuousBatchingScheduler(policy)
+        controller = (
+            AdaptiveController(policy, sched) if policy.adaptive else None
+        )
 
         completed: list[CompletedOp] = []
         epochs: list[EpochRecord] = []
@@ -212,53 +326,47 @@ class EpochServer:
         cum_rounds = 0
         cum_wall = 0.0
         failed_total = 0
-        free_at = 0.0  # when the server finishes its current epoch
-        i = 0  # next unprocessed arrival
+        # simulated-clock resources.  Sequential mode uses only
+        # host_free (== previous completion).  Pipelined mode: host_free
+        # is when the host stage frees up (the previous epoch's rounds
+        # began), module_free is when the modules finish their current
+        # epoch, hazard_until enforces the write-hazard drain rule: it
+        # marks when the last *mutating* epoch's rounds end, and a prep
+        # that would read trie state (an ordered-snapshot prewarm) must
+        # not start before it.  Prep that only groups the op list reads
+        # no index state and overlaps mutating epochs freely.
+        host_free = 0.0
+        module_free = 0.0
+        hazard_until = 0.0
+        idx = [0]  # next unprocessed arrival (boxed for decide_cut)
         before_all = self.system.snapshot()
 
         def admit(op: Operation) -> None:
-            nonlocal i
             if sched.admit(op, degraded=self._degraded()):
                 rounds_at_admit[op.seq] = cum_rounds
                 wall_at_admit[op.seq] = cum_wall
-            i += 1
+            idx[0] += 1
 
-        while i < n or sched.pending:
+        while idx[0] < n or sched.pending:
             if not sched.pending:
                 # idle: jump the clock to the next arrival
-                admit(ops[i])
+                admit(ops[idx[0]])
                 continue
 
-            head_t = sched.head_arrival()
-            earliest = max(free_at, head_t)
-            deadline = head_t + policy.max_wait
-            # decide the launch time, admitting the arrivals that land
-            # before it (in arrival order, so admission control sees the
-            # queue exactly as a client would)
-            while True:
-                if sched.full():
-                    launch = max(free_at, sched.fill_arrival())
-                    break
-                target = max(earliest, deadline)
-                if i < n and ops[i].time <= target:
-                    admit(ops[i])
-                    continue
-                if i < n:
-                    # no further arrival lands before the deadline
-                    launch = target
-                else:
-                    # stream exhausted: the queue may still hold ops
-                    # with future arrival times (admission is lazy), so
-                    # honor the deadline — but waiting past the last
-                    # queued arrival buys nothing
-                    launch = max(earliest, min(deadline, sched.pending[-1].time))
-                break
-            while i < n and ops[i].time <= launch:
-                admit(ops[i])
+            # the drain applies only when the upcoming prep will read
+            # trie state — i.e. the queue holds ordered-kind ops whose
+            # snapshot the prep would prewarm
+            reads_state = self.pipelined and any(
+                op.kind in ORDERED_KINDS for op in sched.pending
+            )
+            ready = max(host_free, hazard_until) if reads_state else host_free
+            cut = decide_cut(sched, ops, idx, ready, admit)
 
             depth = len(sched.pending)
-            batch = sched.take_epoch(launch)
+            batch = sched.take_epoch(cut)
             assert batch, "scheduler cut an empty epoch"
+            prep_dur = self.prep_time * len(batch)
+            asm_dur = self.asm_time * len(batch)
 
             before = self.system.snapshot()
             t0 = _time.perf_counter()
@@ -273,49 +381,100 @@ class EpochServer:
                 if obs is not None
                 else None
             )
+            mutated = False
             try:
-                # proactive recovery: heal crashes left over from a
-                # previous epoch before launching new work (its rounds
-                # land in this epoch's metrics delta, and therefore its
-                # service time)
-                if self._degraded():
-                    ep["recovery_rounds"] += recover(self.trie)
-                replies: list[Any] = []
-                kinds: list[str] = []
-                for kind, seg in segments(batch):
-                    kinds.append(kind)
-                    replies.extend(self._run_segment(kind, seg, ep))
-                if self.adapt is not None:
-                    # adaptive maintenance rides the epoch it reacts to:
-                    # its rounds land in this delta and service time.  An
-                    # abort mid-maintenance heals like any other fault —
-                    # answers are placement-invariant either way.
-                    try:
-                        self.adapt.step()
-                    except RoundAborted as e:
-                        ep["causes"].append(e.cause)
+                # ---- host prep phase: segment grouping + (pipelined)
+                # ordered-snapshot prewarm against pre-epoch state
+                with maybe_span(
+                    self.system, "epoch.prep", cat="phase", ops=len(batch)
+                ):
+                    segs = segments(batch)
+                    # prewarm only when this prep provably starts after
+                    # every mutating epoch's rounds have finished (an
+                    # ordered op admitted *during* the cut decision can
+                    # land in a pre-drain batch: then the snapshot is
+                    # simply built inside the rounds phase instead,
+                    # which serializes after all mutations)
+                    if self.pipelined and cut >= hazard_until:
+                        self._prewarm(batch)
+                # ---- module-round phase: recovery + segments + adapt
+                with maybe_span(
+                    self.system, "epoch.rounds", cat="phase", ops=len(batch)
+                ):
+                    # proactive recovery: heal crashes left over from a
+                    # previous epoch before launching new work (its
+                    # rounds land in this epoch's metrics delta, and
+                    # therefore its service time)
+                    if self._degraded():
                         ep["recovery_rounds"] += recover(self.trie)
+                        mutated = True
+                    replies: list[Any] = []
+                    kinds: list[str] = []
+                    for kind, seg in segs:
+                        kinds.append(kind)
+                        if kind in WRITE_KINDS:
+                            mutated = True
+                        replies.extend(self._run_segment(kind, seg, ep))
+                    if self.adapt is not None:
+                        # adaptive maintenance rides the epoch it reacts
+                        # to: its rounds land in this delta and service
+                        # time.  An abort mid-maintenance heals like any
+                        # other fault — answers are placement-invariant
+                        # either way.
+                        try:
+                            stats = self.adapt.step()
+                        except RoundAborted as e:
+                            ep["causes"].append(e.cause)
+                            ep["recovery_rounds"] += recover(self.trie)
+                            mutated = True
+                        else:
+                            if stats.get("actions"):
+                                mutated = True
+                # ---- host assemble phase: reply demultiplexing (the
+                # zip below); zero metrics delta, costed via asm_time
+                with maybe_span(
+                    self.system, "epoch.assemble", cat="phase",
+                    ops=len(batch),
+                ):
+                    pass
             finally:
                 if ep_span is not None:
                     obs.end(ep_span)
+            if ep["recovery_rounds"] or ep["retries"] or ep["failed"]:
+                mutated = True  # any recovery path rebuilt state
             wall = _time.perf_counter() - t0
             delta = self.system.snapshot().delta(before)
 
             inj = getattr(self.system, "faults", None)
             straggle = inj.take_straggle_penalty() if inj is not None else 0.0
-            service = (
+            module = (
                 self.service_time(delta)
                 + straggle * self.round_time
                 + ep["backoff"]
             )
+            if self.pipelined:
+                rounds_start = max(cut + prep_dur, module_free)
+                completion = rounds_start + module + asm_dur
+                module_free = rounds_start + module
+                # the epoch leaves the host stage when the modules
+                # accept it; the host may then cut the next epoch
+                host_free = rounds_start
+                if mutated:
+                    # trie state is final when the rounds end (assembly
+                    # only shuffles replies) — that is what a
+                    # state-reading prep must wait for
+                    hazard_until = module_free
+            else:
+                rounds_start = cut + prep_dur
+                completion = rounds_start + module + asm_dur
+                host_free = completion
+            service = completion - cut
             failed_total += ep["failed"]
-            completion = launch + service
-            free_at = completion
             cum_rounds += delta.io_rounds
             cum_wall += wall
             epochs.append(
                 EpochRecord(
-                    index=len(epochs), launch=launch, service=service,
+                    index=len(epochs), launch=cut, service=service,
                     completion=completion, size=len(batch),
                     kinds=tuple(kinds), queue_depth=depth,
                     io_rounds=delta.io_rounds, io_time=delta.io_time,
@@ -328,13 +487,16 @@ class EpochServer:
                     recovery_rounds=ep["recovery_rounds"],
                     causes=tuple(ep["causes"]),
                     span_id=ep_span.sid if ep_span is not None else None,
+                    prep=prep_dur, asm=asm_dur, rounds_start=rounds_start,
                 )
             )
+            latencies: list[float] = []
             for op, reply in zip(batch, replies):
+                latencies.append(completion - op.time)
                 completed.append(
                     CompletedOp(
                         seq=op.seq, client_id=op.client_id, kind=op.kind,
-                        arrival=op.time, launch=launch,
+                        arrival=op.time, launch=cut,
                         completion=completion, epoch=len(epochs) - 1,
                         reply=reply,
                         latency_rounds=cum_rounds - rounds_at_admit[op.seq],
@@ -342,6 +504,22 @@ class EpochServer:
                         ok=reply is not OP_FAILED,
                     )
                 )
+            if controller is not None:
+                decision = controller.observe(
+                    epoch=len(epochs) - 1, cut=cut, queue_depth=depth,
+                    size=len(batch), io_rounds=delta.io_rounds,
+                    latencies=latencies, prep=prep_dur, rounds=module,
+                    asm=asm_dur,
+                )
+                if decision is not None:
+                    # a zero-delta marker span: no rounds run inside, so
+                    # span sums stay byte-exact with tracing on
+                    with maybe_span(
+                        self.system, f"sched.{decision.action}", cat="sched",
+                        epoch=decision.epoch, max_wait=decision.max_wait,
+                        max_batch=decision.max_batch,
+                    ):
+                        pass
 
         metrics = self.system.snapshot().delta(before_all)
         inj = getattr(self.system, "faults", None)
@@ -350,6 +528,11 @@ class EpochServer:
             if inj is not None and inj.stats.any_faults()
             else {}
         )
+        extra: dict[str, Any] = {}
+        if self.adapt is not None:
+            extra["adapt"] = self.adapt.summary()
+        if controller is not None:
+            extra["sched"] = controller.summary()
         return ServiceReport(
             policy=policy.describe(),
             trace=trace.name,
@@ -363,11 +546,10 @@ class EpochServer:
             max_batch=policy.max_batch,
             failed=failed_total,
             faults=fault_stats,
-            extra=(
-                {"adapt": self.adapt.summary()}
-                if self.adapt is not None
-                else {}
-            ),
+            extra=extra,
+            pipelined=self.pipelined,
+            prep_time=self.prep_time,
+            asm_time=self.asm_time,
         )
 
 

@@ -20,7 +20,9 @@ deterministic given deterministic inputs.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
+from fractions import Fraction
 from typing import Any, Optional, Sequence
 
 from ..pim import MetricsSnapshot
@@ -51,12 +53,26 @@ PERCENTILES = (50, 95, 99)
 
 
 def percentile(values: Sequence[float], q: float) -> float:
-    """Nearest-rank percentile of ``values`` (q in [0, 100])."""
+    """Nearest-rank percentile of ``values`` (q in [0, 100]).
+
+    The rank is ``ceil(n * q / 100)`` (clamped to at least 1), computed
+    with exact rational arithmetic: a float ``q`` like 99.9 is read at
+    its decimal face value (``Fraction(str(q))``), so the ceiling never
+    flips on a floating-point rounding artifact the way the old
+    ``-(-n * q // 100)`` could.  ``q`` outside [0, 100] (or NaN) raises
+    ``ValueError``.
+    """
+    if isinstance(q, float) and math.isnan(q):
+        raise ValueError("percentile q must not be NaN")
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile q must be in [0, 100], got {q!r}")
     if not values:
         return 0.0
     s = sorted(values)
-    rank = max(1, -(-len(s) * q // 100))  # ceil(len * q / 100), min 1
-    return s[int(rank) - 1]
+    qf = Fraction(str(q)) if isinstance(q, float) else Fraction(q)
+    # ceil(n*q/100) exactly; Fraction.__floordiv__ returns an int
+    rank = max(1, -((-qf * len(s)) // 100))
+    return s[rank - 1]
 
 
 def latency_stats(values: Sequence[float]) -> dict[str, float]:
@@ -114,6 +130,14 @@ class EpochRecord:
     causes: tuple[str, ...] = ()  # RoundAborted causes observed
     #: id of this epoch's tracer span (None when tracing is off)
     span_id: Optional[int] = None
+    #: pipelined-mode phase bookkeeping (all zero in sequential mode).
+    #: ``launch`` is the epoch's *cut* time (ops taken from the queue);
+    #: host prep runs [launch, launch+prep), module rounds start at
+    #: ``rounds_start`` (>= launch+prep — the module may still be busy
+    #: with the previous epoch), and ``completion`` includes ``asm``.
+    prep: float = 0.0  # host-CPU prep time (grouping, snapshot prewarm)
+    asm: float = 0.0  # host-CPU reply-assembly time
+    rounds_start: float = 0.0  # when module rounds actually began
 
 
 @dataclass
@@ -131,6 +155,12 @@ class ServiceReport:
     word_time: float
     #: the scheduler policy's batch cap, used as the occupancy denominator
     max_batch: int = 1
+    #: two-stage pipelined BSP: host phases of epoch k+1 overlap module
+    #: rounds of epoch k (see EpochServer); False = sequential loop
+    pipelined: bool = False
+    #: per-op host-phase costs used by this run's service model
+    prep_time: float = 0.0
+    asm_time: float = 0.0
     #: ops whose replies are :data:`OP_FAILED` (fault retries exhausted)
     failed: int = 0
     #: injector counters (``FaultStats.as_dict``); empty = fault-free run
@@ -161,6 +191,22 @@ class ServiceReport:
             return 0.0
         cap = max(1, self.max_batch)
         return sum(e.size for e in self.epochs) / (len(self.epochs) * cap)
+
+    @property
+    def host_overlap(self) -> float:
+        """Total host prep time hidden under earlier epochs' rounds.
+
+        Epoch k's prep occupies ``[launch, launch + prep)`` on the host;
+        epoch k-1's module rounds run until ``completion - asm``.  The
+        intersection is prep work the pipeline hid behind module time —
+        always 0 in sequential mode, where prep only starts after the
+        previous epoch fully completed.
+        """
+        hidden = 0.0
+        for prev, cur in zip(self.epochs, self.epochs[1:]):
+            prev_rounds_end = prev.completion - prev.asm
+            hidden += min(cur.prep, max(0.0, prev_rounds_end - cur.launch))
+        return hidden
 
     def queue_depth_stats(self) -> dict[str, float]:
         depths = [e.queue_depth for e in self.epochs]
@@ -222,6 +268,13 @@ class ServiceReport:
             "max_batch": self.max_batch,
             "metrics": self.metrics.as_dict(include_per_module=include_per_module),
         }
+        if self.pipelined or self.prep_time or self.asm_time:
+            # sequential zero-host-cost runs keep their original output
+            # bytes — pipeline fields appear only when the mode is on
+            out["pipelined"] = self.pipelined
+            out["prep_time"] = self.prep_time
+            out["asm_time"] = self.asm_time
+            out["host_overlap"] = self.host_overlap
         if self.faults or self.failed:
             # fault-free runs keep their original output bytes — the
             # recovery block appears only when there was something to
@@ -261,6 +314,12 @@ class ServiceReport:
             f"{m.total_communication} words, pim_time {m.pim_time}, "
             f"imbalance {m.traffic_imbalance():.3f}",
         ]
+        if self.pipelined or self.prep_time or self.asm_time:
+            lines.append(
+                f"pipeline: {'on' if self.pipelined else 'off'} | host "
+                f"prep/asm {self.prep_time:g}/{self.asm_time:g} per op | "
+                f"{self.host_overlap:.4f} units of prep hidden"
+            )
         if self.faults or self.failed:
             lines.append(
                 f"faults: availability {self.availability:.4f} "

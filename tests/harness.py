@@ -52,6 +52,7 @@ __all__ = [
     "gen_ops",
     "make_cluster",
     "run_sequence",
+    "run_serve_differential",
     "divergences",
     "shrink",
     "format_ops",
@@ -390,6 +391,48 @@ def run_sequence(factory: Callable[[], Any], ops: list) -> list[Any]:
     """Replies of one target over a full sequence, batch by batch."""
     index = factory()
     return [apply_batch(index, kind, payload) for kind, payload in ops]
+
+
+# ----------------------------------------------------------------------
+# serve-layer differential support
+# ----------------------------------------------------------------------
+def run_serve_differential(
+    trace: Any,
+    policy: Any,
+    *,
+    make_index: Callable[[], Any],
+    fault_plan: Any = None,
+    pipelined: bool = False,
+    prep_time: float = 0.0,
+    asm_time: float = 0.0,
+):
+    """One serve-layer differential leg: ``trace`` through
+    :class:`repro.serve.EpochServer` — optionally faulted and/or
+    pipelined — against a faultless direct sequential replay on a twin
+    index from the same factory.
+
+    Returns ``(report, served, direct)`` where ``served`` maps seq →
+    server reply over all completed ops and ``direct`` maps seq →
+    reference reply over the ops the server admitted (a bounded queue
+    may legitimately shed the rest).  Callers assert ``served`` equals
+    ``direct`` op for op — the equivalence guarantee, parameterized over
+    execution mode.
+    """
+    from repro.serve import EpochServer, replay_direct
+
+    index = make_index()
+    if fault_plan is not None:
+        index.system.install_faults(fault_plan)
+    report = EpochServer(
+        index, policy, pipelined=pipelined,
+        prep_time=prep_time, asm_time=asm_time,
+    ).run(trace)
+    served = {c.seq: c.reply for c in report.completed}
+    twin = make_index()
+    direct = dict(
+        replay_direct(twin, [o for o in trace.ops if o.seq in served])
+    )
+    return report, served, direct
 
 
 # ----------------------------------------------------------------------

@@ -189,7 +189,7 @@ class TestRackLoss:
 # serve wiring: per-shard epochs, mid-epoch loss, availability
 # ----------------------------------------------------------------------
 class TestClusterService:
-    def _run(self, scenario, replication, shards=2):
+    def _run(self, scenario, replication, shards=2, pipelined=False):
         from repro import PIMSystem, PIMTrie, PIMTrieConfig
         from repro.serve import make_trace, policy_from_name, replay_direct
         from repro.workloads import uniform_keys
@@ -206,7 +206,10 @@ class TestClusterService:
             scenario, num_shards=shards, replication=replication
         )
         service = ClusterService(
-            cluster, policy_from_name("deadline:20"), plan=plan
+            cluster, policy_from_name("deadline:20"), plan=plan,
+            pipelined=pipelined,
+            prep_time=0.2 if pipelined else 0.0,
+            asm_time=0.05 if pipelined else 0.0,
         )
         report = service.run(trace)
         reset_id_counters()
@@ -240,6 +243,23 @@ class TestClusterService:
     def test_shard_wipe_replaces_every_original_rack(self):
         _, cluster = self._run("shard-wipe", replication=2)
         assert {r.incarnation for r in cluster.racks[0]} == {1}
+
+    @pytest.mark.parametrize(
+        "scenario", ["none", "one-rack", "rolling"]
+    )
+    def test_pipelined_router_keeps_oracle_parity(self, scenario):
+        """Pipelining the router host phases is an execution strategy:
+        answers stay oracle-identical even while racks are being lost
+        and rebuilt mid-overlap, and host prep genuinely overlaps the
+        racks' module rounds."""
+        report, _ = self._run(scenario, replication=2, pipelined=True)
+        assert report.availability == 1.0
+        assert report.pipelined
+        assert report.host_overlap >= 0.0
+        for prev, cur in zip(report.epochs, report.epochs[1:]):
+            # racks' rounds never overlap: BSP rounds serialize even
+            # though host prep of cur ran during prev's rounds
+            assert cur.rounds_start >= prev.completion - prev.asm - 1e-9
 
 
 # ----------------------------------------------------------------------

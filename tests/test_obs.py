@@ -227,6 +227,100 @@ class TestServeAndRecoverySpans:
         assert r1.metrics == r0.metrics
 
 
+class TestRollupAccessors:
+    """The obs-side accessors the adaptive scheduler's telemetry rides
+    on: keyed rollup lookup, per-phase self-times, and sched.* decision
+    extraction — exercised on a pipelined adaptive serve run, the
+    configuration that emits every span category at once."""
+
+    def run_adaptive(self, traced: bool):
+        reset_id_counters()
+        system = PIMSystem(P, seed=1)
+        keys = uniform_keys(96, 32, seed=7)
+        trie = PIMTrie(
+            system, PIMTrieConfig(num_modules=P), keys=keys, values=keys
+        )
+        tracer = Tracer(system) if traced else None
+        server = EpochServer(
+            trie, policy_from_name("adaptive:30"),
+            pipelined=True, prep_time=0.1, asm_time=0.05,
+        )
+        report = server.run(make_trace(220, length=32, rate=2.0, seed=8))
+        return report, tracer
+
+    def test_rollup_index_keys_rows(self):
+        from repro.obs import rollup_index
+
+        _, tracer = self.run_adaptive(traced=True)
+        idx = rollup_index(tracer)
+        assert idx[("epoch.prep", "phase")]["count"] == \
+            idx[("epoch.rounds", "phase")]["count"]
+        # accepts pre-computed rows too
+        assert rollup_index(rollup(tracer)) == idx
+
+    def test_phase_self_times_cover_all_three_phases(self):
+        from repro.obs import phase_self_times
+
+        report, tracer = self.run_adaptive(traced=True)
+        phases = phase_self_times(tracer)
+        epoch_phases = {"epoch.prep", "epoch.rounds", "epoch.assemble"}
+        # inner phases (match.*, insert.apply, ...) show up too; the
+        # three epoch-level phases must all be present
+        assert epoch_phases <= set(phases)
+        for name in epoch_phases:
+            assert phases[name]["count"] == len(report.epochs)
+        # all PIM work happens inside the rounds phase; the host phases
+        # are metric-free by construction
+        assert phases["epoch.prep"]["io_rounds"] == 0
+        assert phases["epoch.assemble"]["io_rounds"] == 0
+        assert phases["epoch.rounds"]["io_rounds"] == report.metrics.io_rounds
+
+    def test_sched_decisions_match_controller_log(self):
+        from repro.obs import sched_decisions
+
+        report, tracer = self.run_adaptive(traced=True)
+        committed = report.extra["sched"]["decisions"]
+        assert committed, "run never committed an adaptive decision"
+        seen = sched_decisions(tracer)
+        assert [s["action"] for s in seen] == \
+            [d["action"] for d in committed]
+        assert [s["epoch"] for s in seen] == [d["epoch"] for d in committed]
+        assert [s["max_wait"] for s in seen] == \
+            [d["max_wait"] for d in committed]
+
+    def test_phase_and_sched_spans_keep_sums_exact(self):
+        # interposing phase spans and zero-delta sched markers must not
+        # break the accounting identity: root spans still sum to the
+        # overall delta, and sched spans carry no metrics at all
+        reset_id_counters()
+        system = PIMSystem(P, seed=1)
+        keys = uniform_keys(96, 32, seed=7)
+        trie = PIMTrie(
+            system, PIMTrieConfig(num_modules=P), keys=keys, values=keys
+        )
+        tracer = Tracer(system)
+        before = system.snapshot()
+        EpochServer(
+            trie, policy_from_name("adaptive:30"),
+            pipelined=True, prep_time=0.1, asm_time=0.05,
+        ).run(make_trace(220, length=32, rate=2.0, seed=8))
+        delta = system.snapshot().delta(before)
+        sums = root_metric_sums(tracer.spans)
+        assert sums["io_rounds"] == delta.io_rounds
+        assert sums["words"] == delta.total_communication
+        for s in tracer.spans:
+            if s.cat == "sched":
+                assert s.metric_deltas() == dict.fromkeys(METRIC_FIELDS, 0)
+
+    def test_accessors_traced_equals_untraced_run(self):
+        r1, _ = self.run_adaptive(traced=True)
+        r0, _ = self.run_adaptive(traced=False)
+        assert [c.reply for c in r1.completed] == \
+            [c.reply for c in r0.completed]
+        assert r1.extra["sched"] == r0.extra["sched"]
+        assert r1.metrics == r0.metrics
+
+
 class TestTracerLifecycle:
     def test_attach_detach(self):
         system = PIMSystem(2)

@@ -81,6 +81,53 @@ class TestPolicy:
         d = policy_from_name("deadline:7", queue_capacity=300).describe()
         assert "max_wait=7" in d and "capacity=300" in d
 
+    def test_parse_adaptive(self):
+        p = policy_from_name("adaptive:80")
+        assert p.adaptive and p.target_p99 == 80.0
+        assert p.affinity  # grouping rides along
+        assert p.max_wait == 40.0  # initial deadline = target/2
+        assert policy_from_name("adaptive").target_p99 == 50.0
+
+    def test_adaptive_validation(self):
+        with pytest.raises(ValueError):
+            SchedulerPolicy("x", adaptive=True)  # needs target_p99 > 0
+        with pytest.raises(ValueError):
+            SchedulerPolicy("x", target_p99=10.0)  # needs adaptive
+
+    def test_parse_degraded_suffix(self):
+        p = policy_from_name("deadline:20@deg=8")
+        assert p.max_wait == 20.0 and p.degraded_capacity == 8
+        assert "degraded=8" in p.describe()
+
+    def test_degraded_keyword_and_suffix_precedence(self):
+        # the keyword is the programmatic route; the suffix wins if both
+        assert policy_from_name("eager", degraded_capacity=6) \
+            .degraded_capacity == 6
+        assert policy_from_name("eager@deg=4", degraded_capacity=6) \
+            .degraded_capacity == 4
+
+    def test_degraded_suffix_errors(self):
+        with pytest.raises(ValueError):
+            policy_from_name("eager@deg")  # no value
+        with pytest.raises(ValueError):
+            policy_from_name("eager@cap=4")  # unknown key
+        with pytest.raises(ValueError):
+            policy_from_name("deadline:5@deg=0")  # must be >= 1
+        with pytest.raises(ValueError):
+            # degradation sheds load; it cannot add headroom
+            policy_from_name("eager@deg=500", queue_capacity=300)
+
+    @pytest.mark.parametrize("spec", [
+        "eager", "deadline:2.5", "affinity", "affinity:3",
+        "adaptive:80", "eager@deg=8", "deadline:20@deg=8",
+        "affinity:3@deg=16", "adaptive:80@deg=8",
+    ])
+    def test_spec_round_trips(self, spec):
+        p = policy_from_name(spec, max_batch=64, queue_capacity=128)
+        assert policy_from_name(
+            p.spec(), max_batch=p.max_batch, queue_capacity=p.queue_capacity
+        ) == p
+
 
 class TestScheduler:
     def make(self, **kw):
@@ -138,15 +185,31 @@ POLICIES = [
     policy_from_name("affinity:50"),
     policy_from_name("eager", max_batch=4),  # forces mid-run epoch splits
     policy_from_name("deadline:50", max_batch=8, queue_capacity=8),
+    policy_from_name("adaptive:40"),  # closed-loop knob tuning
+    policy_from_name("deadline:5@deg=8", max_batch=16, queue_capacity=32),
 ]
+
+#: an op mix with ordered reads, so pipelined runs exercise the
+#: snapshot-prewarm hazard path, not just the plain overlap
+MIX_ORDERED = {
+    "lcp": 0.4, "insert": 0.15, "delete": 0.05, "subtree": 0.1,
+    "pred": 0.1, "range": 0.1, "count": 0.05, "topk": 0.05,
+}
 
 
 class TestEquivalence:
+    @pytest.mark.parametrize("pipelined", [False, True],
+                             ids=["sequential", "pipelined"])
     @pytest.mark.parametrize("seed", [3, 9])
     @pytest.mark.parametrize("policy", POLICIES, ids=lambda p: p.describe())
-    def test_server_matches_direct_replay(self, policy, seed):
+    def test_server_matches_direct_replay(self, policy, seed, pipelined):
         trace = make_trace(100, length=LENGTH, rate=2.0, seed=seed)
-        report = EpochServer(fresh_trie(), policy).run(trace)
+        server = EpochServer(
+            fresh_trie(), policy, pipelined=pipelined,
+            prep_time=0.05 if pipelined else 0.0,
+            asm_time=0.02 if pipelined else 0.0,
+        )
+        report = server.run(trace)
 
         served = {c.seq: c.reply for c in report.completed}
         # replay only the ops the server admitted (a bounded queue may
@@ -159,6 +222,35 @@ class TestEquivalence:
         for seq in served:
             assert normalize(served[seq]) == normalize(direct[seq]), seq
         assert len(served) + report.dropped == len(trace)
+
+    @pytest.mark.parametrize(
+        "policy",
+        [p for p in POLICIES if p.queue_capacity is None],
+        ids=lambda p: p.describe(),
+    )
+    def test_pipelined_matches_sequential_with_ordered_ops(self, policy):
+        """Pipelined replies equal the sequential run's, op for op, on a
+        trace whose ordered reads force the write-hazard drain.
+
+        Restricted to unbounded queues: pipelining legitimately shifts
+        cut times, so a bounded queue may shed a *different* (equally
+        valid) subset — those policies are covered against the direct
+        replay above instead.
+        """
+        trace = make_trace(100, length=LENGTH, rate=2.0, seed=6,
+                           mix=MIX_ORDERED)
+        seq_report = EpochServer(
+            fresh_trie(), policy, prep_time=0.1, asm_time=0.05
+        ).run(trace)
+        pip_report = EpochServer(
+            fresh_trie(), policy, pipelined=True,
+            prep_time=0.1, asm_time=0.05,
+        ).run(trace)
+        seq = {c.seq: c.reply for c in seq_report.completed}
+        pip = {c.seq: c.reply for c in pip_report.completed}
+        assert set(seq) == set(pip)
+        for s in seq:
+            assert normalize(seq[s]) == normalize(pip[s]), s
 
     def test_final_state_matches(self):
         trace = make_trace(100, length=LENGTH, rate=2.0, seed=5)
@@ -273,6 +365,144 @@ class TestServerBehavior:
         with pytest.raises(ValueError):
             EpochServer(fresh_trie(), policy_from_name("eager"),
                         round_time=-1.0)
+        with pytest.raises(ValueError):
+            EpochServer(fresh_trie(), policy_from_name("eager"),
+                        prep_time=-0.1)
+        with pytest.raises(ValueError):
+            EpochServer(fresh_trie(), policy_from_name("eager"),
+                        asm_time=-0.1)
+
+
+# ----------------------------------------------------------------------
+class TestPipelined:
+    def run_pair(self, *, mix=None, rate=4.0, n=120, seed=4,
+                 policy_spec="deadline:5"):
+        trace = make_trace(n, length=LENGTH, rate=rate, seed=seed, mix=mix)
+        kw = dict(prep_time=0.2, asm_time=0.05)
+        seq = EpochServer(
+            fresh_trie(), policy_from_name(policy_spec), **kw
+        ).run(trace)
+        pip = EpochServer(
+            fresh_trie(), policy_from_name(policy_spec), pipelined=True, **kw
+        ).run(trace)
+        return seq, pip
+
+    def test_overlap_and_speedup_under_load(self):
+        seq, pip = self.run_pair()
+        assert seq.host_overlap == 0.0  # sequential never hides prep
+        assert pip.host_overlap > 0.0
+        assert pip.makespan <= seq.makespan
+
+    def test_module_rounds_never_overlap(self):
+        # the modules are one resource: epoch k+1's rounds start only
+        # after epoch k's rounds ended (prep may overlap; rounds cannot)
+        _, pip = self.run_pair()
+        for prev, cur in zip(pip.epochs, pip.epochs[1:]):
+            prev_rounds_end = prev.completion - prev.asm
+            assert cur.rounds_start >= prev_rounds_end
+            assert cur.rounds_start >= cur.launch + cur.prep
+
+    def test_pipelined_launch_can_precede_prev_completion(self):
+        seq, pip = self.run_pair()
+        # sequential: strictly serial epochs
+        assert all(
+            cur.launch >= prev.completion
+            for prev, cur in zip(seq.epochs, seq.epochs[1:])
+        )
+        # pipelined under load: some epoch was cut while the previous
+        # one was still in its module rounds — the overlap is real
+        assert any(
+            cur.launch < prev.completion
+            for prev, cur in zip(pip.epochs, pip.epochs[1:])
+        )
+
+    def test_ordered_reads_serialize_after_write_hazards(self):
+        # the hazard rule's observable guarantee: an ordered read's
+        # snapshot — whether prewarmed in prep or built inside the
+        # rounds phase — materializes no earlier than the rounds-end of
+        # every preceding mutating epoch (when its writes became final)
+        _, pip = self.run_pair(mix=MIX_ORDERED, seed=6)
+        from repro.serve.server import ORDERED_KINDS, WRITE_KINDS
+
+        saw_ordered_after_write = False
+        hazard = 0.0
+        for e in pip.epochs:
+            if any(k in ORDERED_KINDS for k in e.kinds):
+                assert e.rounds_start >= hazard
+                saw_ordered_after_write = saw_ordered_after_write or hazard > 0
+            if any(k in WRITE_KINDS for k in e.kinds):
+                hazard = e.completion - e.asm
+        assert saw_ordered_after_write, \
+            "trace never exercised the write→ordered-read hazard"
+
+    def test_report_pipeline_fields(self):
+        seq, pip = self.run_pair()
+        d = pip.as_dict()
+        assert d["pipelined"] is True
+        assert d["prep_time"] == 0.2 and d["asm_time"] == 0.05
+        assert d["host_overlap"] == pip.host_overlap
+        assert "pipeline" in pip.format_summary()
+        # zero-host-cost sequential reports keep their original bytes
+        plain = EpochServer(
+            fresh_trie(), policy_from_name("deadline:5")
+        ).run(make_trace(40, length=LENGTH, rate=1.0, seed=4))
+        assert "pipelined" not in plain.as_dict()
+
+
+# ----------------------------------------------------------------------
+class TestAdaptivePolicy:
+    def test_controller_decisions_reach_report(self):
+        trace = make_trace(300, length=LENGTH, rate=2.0, seed=5)
+        r = EpochServer(
+            fresh_trie(), policy_from_name("adaptive:30")
+        ).run(trace)
+        sched = r.extra["sched"]
+        assert sched["target_p99"] == 30.0
+        assert sched["decisions"], "controller never committed a decision"
+        for d in sched["decisions"]:
+            assert d["action"] in ("tighten", "relax")
+            assert d["max_wait"] >= 0 and d["max_batch"] >= 1
+
+    def test_decisions_emit_sched_spans_without_changing_sums(self):
+        from repro.obs import Tracer, sched_decisions
+
+        trace = make_trace(300, length=LENGTH, rate=2.0, seed=5)
+
+        bare = EpochServer(
+            fresh_trie(), policy_from_name("adaptive:30")
+        ).run(trace)
+
+        trie = fresh_trie()
+        tracer = Tracer().attach(trie.system)
+        traced = EpochServer(
+            trie, policy_from_name("adaptive:30")
+        ).run(trace)
+        # the controller consumes only simulated quantities the server
+        # computes itself, so tracing must not perturb the run ...
+        assert [c.reply for c in traced.completed] == \
+            [c.reply for c in bare.completed]
+        assert traced.extra["sched"] == bare.extra["sched"]
+        # ... and every committed decision appears as a sched.* span
+        seen = sched_decisions(tracer)
+        assert [s["action"] for s in seen] == \
+            [d["action"] for d in traced.extra["sched"]["decisions"]]
+
+    def test_adaptive_requires_adaptive_policy(self):
+        from repro.serve import AdaptiveController
+
+        policy = policy_from_name("deadline:5")
+        sched = ContinuousBatchingScheduler(policy)
+        with pytest.raises(ValueError):
+            AdaptiveController(policy, sched)
+
+    def test_set_knobs_clamps(self):
+        sched = ContinuousBatchingScheduler(
+            policy_from_name("deadline:5", max_batch=16, queue_capacity=32)
+        )
+        sched.set_knobs(max_wait=-3.0, max_batch=0)
+        assert sched.max_wait == 0.0 and sched.max_batch == 1
+        sched.set_knobs(max_batch=10_000)
+        assert sched.max_batch == 32  # capped at queue capacity
 
 
 # ----------------------------------------------------------------------
@@ -289,6 +519,51 @@ class TestSLO:
         s = latency_stats([1.0, 2.0, 3.0, 4.0])
         assert s["p50"] == 2.0 and s["max"] == 4.0
         assert s["mean"] == pytest.approx(2.5)
+
+    def test_percentile_rejects_invalid_q(self):
+        for bad in (-1, -0.001, 100.001, 150, float("nan")):
+            with pytest.raises(ValueError):
+                percentile([1.0, 2.0], bad)
+        # the boundaries themselves are legal
+        assert percentile([1.0, 2.0], 0) == 1.0
+        assert percentile([1.0, 2.0], 100) == 2.0
+
+    def test_percentile_matches_exact_reference(self):
+        """Property test against the definition: nearest-rank picks the
+        smallest rank r with r * 100 >= q * n, via exact integer
+        cross-multiplication (no float division anywhere)."""
+        import random
+
+        from fractions import Fraction
+
+        def reference(values, q):
+            if not values:
+                return 0.0
+            s = sorted(values)
+            n = len(s)
+            qf = Fraction(str(q)) if isinstance(q, float) else Fraction(q)
+            for r in range(1, n + 1):
+                if r * 100 >= qf * n:
+                    return s[max(r, 1) - 1]
+            return s[-1]
+
+        rng = random.Random(42)
+        qs = [0, 1, 25, 50, 75, 90, 95, 99, 100,
+              0.1, 33.3, 99.9, 99.99, 50.5]
+        for _ in range(200):
+            n = rng.randrange(1, 40)
+            vals = [rng.uniform(-100, 100) for _ in range(n)]
+            for q in qs:
+                assert percentile(vals, q) == reference(vals, q), (vals, q)
+
+    def test_percentile_no_float_artifacts(self):
+        # 99.9% of 1000 samples is exactly rank 999; binary-float
+        # evaluation of 1000 * 99.9 / 100 lands at 999.0000000000001,
+        # whose ceiling (rank 1000) would read the wrong element
+        vals = list(range(1, 1001))
+        assert percentile(vals, 99.9) == 999
+        # 29 * 70 / 100 = 20.3 -> rank 21, robust to representation
+        assert percentile(list(range(1, 30)), 70) == 21
 
 
 # ----------------------------------------------------------------------

@@ -173,6 +173,85 @@ class TestCrashBeforeAck:
 
 
 # ----------------------------------------------------------------------
+class TestPipelinedFaults:
+    """The equivalence guarantee survives pipelining × faults.
+
+    Crashes land mid-overlap (an epoch's rounds abort while the next
+    epoch's host prep may already have run against pre-crash state),
+    stragglers stretch the module stage — and still: exactly-once
+    replies, availability 1.0, answers equal to a faultless sequential
+    replay.
+    """
+
+    #: crash early (epoch overlap is warming up) and late (steady
+    #: state), with a straggler stretching the stage in between
+    PLAN = FaultPlan(
+        crashes={1: 3, 3: 40},
+        stragglers=(StragglerSpec(0, 3.0, 0, 30),),
+    )
+
+    @pytest.mark.parametrize("seed", [3, 9])
+    @pytest.mark.parametrize("policy", POLICIES, ids=lambda p: p.describe())
+    def test_pipelined_faulted_matches_faultless_replay(self, policy, seed):
+        from tests.harness import run_serve_differential
+
+        trace = make_trace(120, length=LENGTH, rate=1.0, seed=seed)
+        report, served, direct = run_serve_differential(
+            trace, policy, make_index=fresh_trie, fault_plan=self.PLAN,
+            pipelined=True, prep_time=0.1, asm_time=0.05,
+        )
+        assert report.availability == 1.0
+        assert report.failed == 0
+        # exactly-once: every admitted op answered exactly one time
+        seqs = [c.seq for c in report.completed]
+        assert len(seqs) == len(set(seqs))
+        assert len(seqs) + report.dropped == len(trace)
+        assert set(served) == set(direct)
+        for seq in served:
+            assert normalize(served[seq]) == normalize(direct[seq]), seq
+        # the plan really fired on the pipelined path
+        assert report.faults["crashes"] == 2
+        assert report.total_recovery_rounds > 0
+
+    def test_crash_mid_overlap_drains_pipeline(self):
+        # an epoch that recovers a crash is mutating: the pipeline must
+        # drain before the next state-reading prep (hazard rule)
+        trace = make_trace(120, length=LENGTH, rate=1.0, seed=3)
+        trie = fresh_trie()
+        trie.system.install_faults(self.PLAN)
+        report = EpochServer(
+            trie, policy_from_name("deadline:20"), pipelined=True,
+            prep_time=0.1, asm_time=0.05,
+        ).run(trace)
+        assert report.degraded_epochs > 0
+        # module rounds stay serialized through the recovery epochs
+        for prev, cur in zip(report.epochs, report.epochs[1:]):
+            assert cur.rounds_start >= prev.completion - prev.asm
+        trie.validate()
+
+
+@pytest.mark.slow
+class TestPipelinedFaultsSlow:
+    """Nightly profile: extended seeds for pipelined × faults parity."""
+
+    @pytest.mark.parametrize("seed", list(range(10, 26)))
+    def test_extended_pipelined_seeds(self, seed):
+        from tests.harness import run_serve_differential
+
+        trace = make_trace(120, length=LENGTH, rate=1.0, seed=seed)
+        policy = policy_from_name("deadline:20")
+        report, served, direct = run_serve_differential(
+            trace, policy, make_index=fresh_trie,
+            fault_plan=TestPipelinedFaults.PLAN,
+            pipelined=True, prep_time=0.1, asm_time=0.05,
+        )
+        assert report.availability == 1.0
+        assert set(served) == set(direct)
+        for seq in served:
+            assert normalize(served[seq]) == normalize(direct[seq]), seq
+
+
+# ----------------------------------------------------------------------
 class TestDegradedAdmission:
     def test_degraded_capacity_sheds_load(self):
         policy = SchedulerPolicy("t", max_batch=4, queue_capacity=8,
@@ -196,6 +275,43 @@ class TestDegradedAdmission:
             "t", max_batch=2, queue_capacity=4, degraded_capacity=2
         ).describe()
         assert "degraded" not in policy_from_name("eager").describe()
+
+    def test_cli_constructed_policy_engages_degraded_admission(self):
+        """Regression: ``policy_from_name`` accepted no degraded bound,
+        so no CLI-reachable policy could ever shed load while healing.
+        Now a spec-built policy under a crash plan must engage it.
+
+        The crash is chosen to fire on a round that does *not* address
+        the dying module: no abort fires, the module stays silently
+        crashed through the rest of its epoch, and the next epoch's
+        admissions run against a degraded server — exactly the window
+        ``degraded_capacity`` exists for (a crash that aborts mid-round
+        is healed by the retry loop before any further admission).
+        """
+        def run(spec):
+            trace = make_trace(120, length=LENGTH, rate=1.0, seed=3)
+            trie = fresh_trie()
+            trie.system.install_faults(FaultPlan(crashes={0: 7}))
+            policy = policy_from_name(spec, max_batch=64, queue_capacity=64)
+            return EpochServer(trie, policy).run(trace)
+
+        degraded = run("eager@deg=1")
+        plain = run("eager")
+        # the tighter bound only applies while the server is healing —
+        # so the crash plan is what makes these drops happen
+        assert degraded.dropped > 0
+        assert plain.dropped == 0
+        assert "degraded=1" in degraded.policy
+        assert degraded.availability == 1.0
+        # and the surviving answers are still exact
+        served = {c.seq: c.reply for c in degraded.completed if c.ok}
+        twin = fresh_trie()
+        trace = make_trace(120, length=LENGTH, rate=1.0, seed=3)
+        direct = dict(replay_direct(
+            twin, [o for o in trace.ops if o.seq in served]
+        ))
+        for seq in served:
+            assert normalize(served[seq]) == normalize(direct[seq]), seq
 
 
 # ----------------------------------------------------------------------
